@@ -1,0 +1,64 @@
+// Command nwbench regenerates every experiment table of EXPERIMENTS.md —
+// one per theorem, lemma, or figure of "Marrying Words and Trees" — and
+// prints them with wall-clock timings.  The same computations are exposed as
+// Go benchmarks in the repository root (go test -bench=.).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use smaller parameter ranges for a fast smoke run")
+	flag.Parse()
+
+	type entry struct {
+		name string
+		run  func() experiments.Table
+	}
+	full := []entry{
+		{"E1", experiments.E01Encodings},
+		{"E2", experiments.E02WeakConversion},
+		{"E3", experiments.E03FlatEquivalence},
+		{"E4", func() experiments.Table { return experiments.E04NWAvsDFA(10) }},
+		{"E5", experiments.E05BottomUpConversion},
+		{"E6", func() experiments.Table { return experiments.E06FlatVsBottomUp(8) }},
+		{"E7", experiments.E07JoinlessSeparation},
+		{"E8", experiments.E08JoinlessConversion},
+		{"E9", func() experiments.Table { return experiments.E09PathSuccinctness(10) }},
+		{"E10", func() experiments.Table { return experiments.E10LinearOrderQuery(8) }},
+		{"E11", experiments.E11TreeAutomataEmbedding},
+		{"E12", experiments.E12PDAEmbedding},
+		{"E13", experiments.E13PTAEmbedding},
+		{"E14", func() experiments.Table { return experiments.E14CountingSeparation(6) }},
+		{"E15", experiments.E15MembershipNPReduction},
+		{"E16", experiments.E16PNWAEmptiness},
+		{"E17", experiments.E17Determinization},
+		{"E19", experiments.E19DecisionProcedures},
+		{"E20", experiments.E20Streaming},
+	}
+	entries := full
+	if *quick {
+		entries = []entry{
+			{"E1", experiments.E01Encodings},
+			{"E4", func() experiments.Table { return experiments.E04NWAvsDFA(6) }},
+			{"E6", func() experiments.Table { return experiments.E06FlatVsBottomUp(5) }},
+			{"E9", func() experiments.Table { return experiments.E09PathSuccinctness(6) }},
+			{"E10", func() experiments.Table { return experiments.E10LinearOrderQuery(5) }},
+			{"E15", experiments.E15MembershipNPReduction},
+		}
+	}
+
+	start := time.Now()
+	for _, e := range entries {
+		t0 := time.Now()
+		table := e.run()
+		fmt.Println(table)
+		fmt.Printf("(%s regenerated in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

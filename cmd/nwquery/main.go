@@ -1,0 +1,100 @@
+// Command nwquery streams an XML-like document from a file (or standard
+// input) through compiled nested-word-automaton queries in a single pass,
+// reporting the verdicts and the maximum number of simultaneously open
+// elements (the streaming memory bound of Section 3.2 of the paper).
+//
+// Usage:
+//
+//	nwquery [-file doc.xml] [-order l1,l2,...] [-path l1,l2,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nwa"
+	"repro/internal/query"
+)
+
+func main() {
+	file := flag.String("file", "", "document file (default: standard input)")
+	order := flag.String("order", "", "comma-separated labels for a linear-order query")
+	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *file == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwquery:", err)
+		os.Exit(1)
+	}
+	events, err := docstream.Tokenize(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwquery:", err)
+		os.Exit(1)
+	}
+	doc := docstream.ToNestedWord(events)
+	stats := docstream.Summarize(doc)
+	fmt.Printf("document: %d positions, %d elements, depth %d, well-formed %v\n",
+		stats.Positions, stats.Elements, stats.Depth, stats.WellFormed)
+
+	labels := doc.Alphabet()
+	if *order != "" {
+		labels = append(labels, splitLabels(*order)...)
+	}
+	if *path != "" {
+		labels = append(labels, splitLabels(*path)...)
+	}
+	alpha := alphabet.New(labels...)
+
+	type namedQuery struct {
+		name string
+		q    *nwa.DNWA
+	}
+	queries := []namedQuery{{name: "well-formed", q: query.WellFormed(alpha)}}
+	if *order != "" {
+		queries = append(queries, namedQuery{
+			name: "order " + *order,
+			q:    query.LinearOrder(alpha, splitLabels(*order)...),
+		})
+	}
+	if *path != "" {
+		queries = append(queries, namedQuery{
+			name: "path //" + strings.ReplaceAll(*path, ",", "//"),
+			q:    query.PathQuery(alpha, splitLabels(*path)...),
+		})
+	}
+
+	for _, nq := range queries {
+		runner := docstream.NewStreamingRunner(nq.q)
+		maxDepth := 0
+		for _, e := range events {
+			runner.Feed(e)
+			if runner.Depth() > maxDepth {
+				maxDepth = runner.Depth()
+			}
+		}
+		fmt.Printf("%-30s : %v (max open elements %d)\n", nq.name, runner.Accepting(), maxDepth)
+	}
+}
+
+func splitLabels(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if trimmed := strings.TrimSpace(p); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}

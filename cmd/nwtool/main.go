@@ -1,0 +1,87 @@
+// Command nwtool inspects nested words given in the tagged notation of the
+// paper ("<a" call, "a" internal, "a>" return) or in the XML-like document
+// syntax, and reports their structural properties.
+//
+// Usage:
+//
+//	nwtool word  '<a <b b> a>'      inspect a tagged nested word
+//	nwtool doc   '<a> text </a>'    inspect an XML-like document
+//	nwtool tree  'a(b(),c(d()))'    encode an ordered tree as a tree word
+//	nwtool query '<doc> ... </doc>' LABEL...
+//	                                run the //LABEL1//LABEL2... path query
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+	"repro/internal/query"
+	"repro/internal/tree"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "word":
+		n, err := nestedword.Parse(os.Args[2])
+		exitOn(err)
+		describe(n)
+	case "doc":
+		n, err := docstream.Parse(os.Args[2])
+		exitOn(err)
+		describe(n)
+	case "tree":
+		t, err := tree.ParseTerm(os.Args[2])
+		exitOn(err)
+		n := tree.ToNestedWord(t)
+		fmt.Printf("tree      : %v\n", t)
+		fmt.Printf("tree word : %v\n", n)
+		describe(n)
+	case "query":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		n, err := docstream.Parse(os.Args[2])
+		exitOn(err)
+		labels := os.Args[3:]
+		alpha := alphabet.New(append(n.Alphabet(), labels...)...)
+		q := query.PathQuery(alpha, labels...)
+		fmt.Printf("document : %v\n", n)
+		fmt.Printf("query    : //%v\n", labels)
+		fmt.Printf("matches  : %v\n", q.Accepts(n))
+	default:
+		usage()
+	}
+}
+
+func describe(n *nestedword.NestedWord) {
+	calls, internals, returns := n.Counts()
+	fmt.Printf("nested word : %v\n", n)
+	fmt.Printf("length      : %d (%d calls, %d internals, %d returns)\n", n.Len(), calls, internals, returns)
+	fmt.Printf("depth       : %d\n", n.Depth())
+	fmt.Printf("well-matched: %v   rooted: %v   tree word: %v\n", n.IsWellMatched(), n.IsRooted(), n.IsTreeWord())
+	fmt.Printf("pending     : %d calls, %d returns\n", len(n.PendingCalls()), len(n.PendingReturns()))
+	fmt.Printf("alphabet    : %v\n", n.Alphabet())
+	if n.IsTreeWord() {
+		if t, err := tree.FromNestedWord(n); err == nil {
+			fmt.Printf("as tree     : %v\n", t)
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query ARG [LABEL...]")
+	os.Exit(2)
+}

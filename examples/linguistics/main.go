@@ -1,0 +1,71 @@
+// Command linguistics models annotated linguistic data, the paper's first
+// motivating domain: a sentence is a linear sequence of words, and the parse
+// into syntactic categories imparts hierarchical structure on top of it.
+// Nested words capture both at once, and nested word automata answer queries
+// that mix the two orders — e.g. "a noun phrase precedes a verb phrase in
+// the sentence" (linear) and "the verb phrase contains a prepositional
+// phrase" (hierarchical) — with one machine each.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/nestedword"
+	"repro/internal/query"
+	"repro/internal/tree"
+)
+
+func main() {
+	// "the automaton reads the word with a stack" annotated with a toy
+	// constituent parse: S( NP(the automaton) VP(reads NP(the word) PP(with
+	// NP(a stack))) ).
+	parse := tree.New("S",
+		tree.New("NP", tree.Leaf("the"), tree.Leaf("automaton")),
+		tree.New("VP",
+			tree.Leaf("reads"),
+			tree.New("NP", tree.Leaf("the"), tree.Leaf("word")),
+			tree.New("PP",
+				tree.Leaf("with"),
+				tree.New("NP", tree.Leaf("a"), tree.Leaf("stack")))))
+
+	sentence := tree.ToNestedWord(parse)
+	fmt.Printf("parse tree    : %v\n", parse)
+	fmt.Printf("as nested word: %v\n", sentence)
+	fmt.Printf("length %d, depth %d\n\n", sentence.Len(), sentence.Depth())
+
+	alpha := alphabet.New(sentence.Alphabet()...)
+
+	// Hierarchical query: the verb phrase contains a prepositional phrase
+	// which contains a noun phrase (VP//PP//NP).
+	vpPPnp := query.PathQuery(alpha, "VP", "PP", "NP")
+	// Linear query: the word "automaton" occurs before the word "stack" in
+	// the sentence order, regardless of the constituent structure.
+	automatonBeforeStack := query.LinearOrder(alpha, "automaton", "stack")
+	// Mixed query by boolean combination (closure under intersection).
+	both := query.And(vpPPnp, automatonBeforeStack)
+
+	fmt.Printf("VP//PP//NP                        : %v\n", vpPPnp.Accepts(sentence))
+	fmt.Printf("'automaton' before 'stack'        : %v\n", automatonBeforeStack.Accepts(sentence))
+	fmt.Printf("both at once (product automaton)  : %v\n", both.Accepts(sentence))
+
+	// The same queries on a different parse of a scrambled sentence show the
+	// linear and hierarchical parts reacting independently.
+	scrambled := tree.New("S",
+		tree.New("NP", tree.Leaf("a"), tree.Leaf("stack")),
+		tree.New("VP", tree.Leaf("reads"),
+			tree.New("NP", tree.Leaf("the"), tree.Leaf("automaton"))))
+	scrambledWord := tree.ToNestedWord(scrambled)
+	fmt.Printf("\nscrambled sentence: %v\n", scrambledWord)
+	fmt.Printf("VP//PP//NP                        : %v\n", vpPPnp.Accepts(scrambledWord))
+	fmt.Printf("'automaton' before 'stack'        : %v\n", automatonBeforeStack.Accepts(scrambledWord))
+
+	// Prefixes of nested words are nested words: a parser that has consumed
+	// only half the sentence still has a queryable object (with pending
+	// calls), something ordered trees cannot represent.
+	prefix := sentence.Prefix(sentence.Len()/2 - 1)
+	fmt.Printf("\nhalf-read sentence: %v\n", prefix)
+	fmt.Printf("pending constituents: %d\n", len(prefix.PendingCalls()))
+	fmt.Printf("'automaton' before 'stack' so far : %v\n", automatonBeforeStack.Accepts(prefix))
+	fmt.Printf("well-formed so far                : %v\n", nestedword.Concat(prefix).IsWellMatched())
+}

@@ -1,0 +1,120 @@
+// Command programtrace models executions of structured programs, the domain
+// in which nested words were originally proposed: calls and returns of
+// procedures are the hierarchical edges, and individual statements are
+// internal positions.  Nested word automata check properties that relate a
+// procedure's call to its matching return (pre/post-conditions) and
+// pushdown nested word automata check quantitative properties (here: the
+// trace acquires and releases a lock equally often).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/nestedword"
+	"repro/internal/nwa"
+	"repro/internal/pnwa"
+)
+
+// A trace over the procedure alphabet {main, io, log} and the statement
+// alphabet {acq, rel, work}: calls/returns are procedure boundaries.
+const goodTrace = "<main work <io acq work rel io> <log work log> work main>"
+const badPostTrace = "<main work <io acq work io> work main>" // io returns without releasing
+const pendingTrace = "<main work <io acq work"                // the program crashed mid-io
+
+func main() {
+	alpha := alphabet.New("main", "io", "log", "acq", "rel", "work")
+
+	// Property 1 (finite-state, uses the hierarchical edges): every call to
+	// `io` that acquires the lock releases it before returning.  The
+	// automaton remembers on the linear state whether the lock is held and
+	// verifies at the matching return of io that it is free again; the
+	// hierarchical edge carries what was known at call time.
+	ioReleases := ioReleasesLock(alpha)
+
+	// Property 2 (pushdown): across the whole trace, acquisitions and
+	// releases are balanced (acq/rel may also appear outside io).
+	balanced := balancedLock()
+
+	for name, trace := range map[string]string{
+		"good":      goodTrace,
+		"bad-post":  badPostTrace,
+		"crash-mid": pendingTrace,
+	} {
+		n := nestedword.MustParse(trace)
+		fmt.Printf("%-9s trace: %v\n", name, n)
+		fmt.Printf("          depth %d, well-matched %v, pending calls %d\n",
+			n.Depth(), n.IsWellMatched(), len(n.PendingCalls()))
+		fmt.Printf("          io releases lock before returning : %v\n", ioReleases.Accepts(n))
+		fmt.Printf("          acquisitions and releases balanced : %v\n\n", balancedAccepts(balanced, n))
+	}
+}
+
+// ioReleasesLock builds a DNWA over the trace alphabet that rejects traces
+// in which some io call returns while the lock is held.
+func ioReleasesLock(alpha *alphabet.Alphabet) *nwa.DNWA {
+	// Linear states: 0 = lock free, 1 = lock held, 2 = violation (absorbing,
+	// non-accepting).  Hierarchical markers: 3 = pushed at an io call, 4 =
+	// pushed at any other call.
+	const free, held, bad, markIO, markOther = 0, 1, 2, 3, 4
+	b := nwa.NewDNWABuilder(alpha, 5)
+	b.SetStart(free).SetAccept(free, held)
+	for _, sym := range alpha.Symbols() {
+		for _, q := range []int{free, held} {
+			next := q
+			switch sym {
+			case "acq":
+				next = held
+			case "rel":
+				next = free
+			}
+			b.Internal(q, sym, next)
+			marker := markOther
+			if sym == "io" {
+				marker = markIO
+			}
+			b.Call(q, sym, q, marker)
+			// Returning from io with the lock held is the violation.
+			if sym == "io" {
+				b.Return(held, markIO, sym, bad)
+				b.Return(free, markIO, sym, free)
+			} else {
+				b.Return(q, markOther, sym, q)
+				b.Return(q, markIO, sym, q)
+			}
+		}
+		b.Internal(bad, sym, bad)
+		b.Call(bad, sym, bad, markOther)
+		for _, m := range []int{markIO, markOther} {
+			b.Return(bad, m, sym, bad)
+		}
+	}
+	return b.Build()
+}
+
+// balancedLock builds a pushdown NWA counting acq vs rel over the trace,
+// regardless of the procedure structure.
+func balancedLock() *pnwa.PNWA {
+	alpha := alphabet.New("main", "io", "log", "acq", "rel", "work")
+	p := pnwa.New(alpha, 4)
+	const ready, afterAcq, afterRel, done = 0, 1, 2, 3
+	p.AddStart(ready)
+	for _, sym := range alpha.Symbols() {
+		target := ready
+		switch sym {
+		case "acq":
+			target = afterAcq
+		case "rel":
+			target = afterRel
+		}
+		p.AddInternal(ready, sym, target)
+		p.AddCall(ready, sym, target, ready)
+		p.AddReturn(ready, sym, target)
+	}
+	p.AddPush(afterAcq, ready, "L")
+	p.AddPop(afterRel, "L", ready)
+	p.AddPopBottom(ready, done)
+	return p
+}
+
+func balancedAccepts(p *pnwa.PNWA, n *nestedword.NestedWord) bool { return p.Accepts(n) }

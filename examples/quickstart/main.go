@@ -1,0 +1,67 @@
+// Command quickstart is the smallest end-to-end tour of the library: it
+// builds the three nested words of Figure 1 of "Marrying Words and Trees",
+// converts a tree to its tree word and back, builds a small deterministic
+// nested word automaton, and runs it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+func main() {
+	// The three nested words of Figure 1.
+	n1 := core.MustParseNestedWord("a b <a a <b a b> a> <a b a a>")
+	n2 := core.MustParseNestedWord("a a> <b a a> <a <a")
+	n3 := core.MustParseNestedWord("<a <a a> <b b> a>")
+	for name, n := range map[string]*core.NestedWord{"n1": n1, "n2": n2, "n3": n3} {
+		fmt.Printf("%s = %v  (length %d, depth %d, well-matched %v, tree word %v)\n",
+			name, n, n.Len(), n.Depth(), n.IsWellMatched(), n.IsTreeWord())
+	}
+
+	// Trees are nested words: a(a(),b()) encodes to n3 and decodes back.
+	t := tree.New("a", tree.Leaf("a"), tree.Leaf("b"))
+	encoded := core.TreeToNestedWord(t)
+	decoded, _ := core.TreeFromNestedWord(encoded)
+	fmt.Printf("\nt_nw(%v) = %v, nw_t back = %v\n", t, encoded, decoded)
+
+	// Word and tree operations on nested words.
+	fmt.Printf("path(a,b,a)      = %v\n", core.Path("a", "b", "a"))
+	fmt.Printf("concat(n2, n2)   = %v\n", core.Concat(n2, n2))
+	fmt.Printf("insert ⟨b b⟩ after every a of n3 = %v\n",
+		core.Insert(n3, "a", core.MustParseNestedWord("<b b>")))
+
+	// A deterministic NWA over {a, b} accepting the well-matched words whose
+	// matched calls and returns carry the same symbol: the call pushes its
+	// symbol along the hierarchical edge, the return checks it.
+	alpha := core.NewAlphabet("a", "b")
+	b := core.NewDNWABuilder(alpha, 6)
+	const topOK, insideOK, pushTopA, pushTopB, pushInA, pushInB = 0, 1, 2, 3, 4, 5
+	b.SetStart(topOK).SetAccept(topOK)
+	for _, sym := range []string{"a", "b"} {
+		b.Internal(topOK, sym, topOK)
+		b.Internal(insideOK, sym, insideOK)
+	}
+	b.Call(topOK, "a", insideOK, pushTopA).Call(topOK, "b", insideOK, pushTopB)
+	b.Call(insideOK, "a", insideOK, pushInA).Call(insideOK, "b", insideOK, pushInB)
+	b.Return(insideOK, pushTopA, "a", topOK).Return(insideOK, pushTopB, "b", topOK)
+	b.Return(insideOK, pushInA, "a", insideOK).Return(insideOK, pushInB, "b", insideOK)
+	matched := b.Build()
+
+	fmt.Println("\nmatched-symbols automaton verdicts:")
+	for _, in := range []string{"<a <b b> a>", "<a b>", "a b a", "<a <b a> b>", "<a"} {
+		n := core.MustParseNestedWord(in)
+		fmt.Printf("  %-14s -> %v\n", in, matched.Accepts(n))
+	}
+
+	// Boolean combination and a decision procedure (Section 3.2).
+	wellFormed := core.WellFormedQuery(alpha)
+	fmt.Printf("\nmatched ⊆ well-formed over {a,b}: equivalent automata? %v\n",
+		core.EquivalentNWA(matched, wellFormed))
+	inter := core.IntersectNWA(matched, wellFormed)
+	if w, ok := inter.SomeWord(); ok {
+		fmt.Printf("a witness in the intersection: %v\n", w)
+	}
+}

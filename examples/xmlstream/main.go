@@ -1,0 +1,68 @@
+// Command xmlstream demonstrates the paper's main application argument:
+// the SAX event stream of an XML-like document is already a nested word, so
+// validation and querying run in a single streaming pass with memory bounded
+// by the document depth — no tree needs to be built.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/query"
+)
+
+const document = `
+<catalog>
+  <book> <title> marrying words and trees </title> <year> 2007 </year> </book>
+  <book> <title> visibly pushdown languages </title> <year> 2004 </year> </book>
+  <report> <title> tree automata techniques </title> </report>
+</catalog>`
+
+const brokenDocument = `<catalog> <book> <title> dangling </book> </catalog>`
+
+func main() {
+	events, err := docstream.Tokenize(document)
+	if err != nil {
+		panic(err)
+	}
+	doc := docstream.ToNestedWord(events)
+	stats := docstream.Summarize(doc)
+	fmt.Printf("document: %d positions, %d elements, %d text tokens, depth %d, well-formed %v\n",
+		stats.Positions, stats.Elements, stats.TextTokens, stats.Depth, stats.WellFormed)
+
+	alpha := alphabet.New(append(doc.Alphabet(), "missing")...)
+	wellFormed := query.WellFormed(alpha)
+	hasBookTitle := query.PathQuery(alpha, "book", "title")
+	hasReportYear := query.PathQuery(alpha, "report", "year")
+	wordsBeforeYear := query.LinearOrder(alpha, "words", "2007")
+
+	fmt.Println("\nbatch evaluation over the whole document:")
+	fmt.Printf("  well-formed                : %v\n", wellFormed.Accepts(doc))
+	fmt.Printf("  //book//title              : %v\n", hasBookTitle.Accepts(doc))
+	fmt.Printf("  //report//year             : %v\n", hasReportYear.Accepts(doc))
+	fmt.Printf("  'words' before '2007'      : %v\n", wordsBeforeYear.Accepts(doc))
+
+	// Streaming evaluation: one pass, memory proportional to the depth.
+	runner := docstream.NewStreamingRunner(hasBookTitle)
+	maxDepth := 0
+	for _, e := range events {
+		runner.Feed(e)
+		if runner.Depth() > maxDepth {
+			maxDepth = runner.Depth()
+		}
+	}
+	fmt.Printf("\nstreaming //book//title: verdict %v, max open elements %d\n",
+		runner.Accepting(), maxDepth)
+
+	// Documents that do not parse into a tree are still nested words.
+	broken, err := docstream.Parse(brokenDocument)
+	if err != nil {
+		panic(err)
+	}
+	bs := docstream.Summarize(broken)
+	fmt.Printf("\nbroken document: well-formed %v, pending opens %d, pending closes %d\n",
+		bs.WellFormed, bs.PendingOpens, bs.PendingCloses)
+	fmt.Printf("it can still be queried: //book//title = %v\n",
+		query.PathQuery(alphabet.New(broken.Alphabet()...), "book", "title").Accepts(broken))
+}

@@ -1,0 +1,96 @@
+// Package core is the façade of the library: it re-exports the types and
+// constructors that make up the public API of the reproduction of
+// "Marrying Words and Trees" (Alur, PODS 2007), so that applications built
+// inside this module (the examples and the command-line tools) can reach the
+// primary contribution through a single import.
+//
+// The underlying packages remain importable directly; this façade only
+// aliases them:
+//
+//   - nested words and their operations        → internal/nestedword
+//   - ordered trees and the tree-word encoding → internal/tree
+//   - nested word automata (the contribution)  → internal/nwa
+//   - pushdown nested word automata            → internal/pnwa
+//   - document streaming and query compilation → internal/docstream, internal/query
+package core
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+	"repro/internal/nwa"
+	"repro/internal/pnwa"
+	"repro/internal/query"
+	"repro/internal/tree"
+)
+
+// Nested-word model.
+type (
+	// NestedWord is a linear sequence of positions with a matching relation.
+	NestedWord = nestedword.NestedWord
+	// Position is one labelled position of a nested word.
+	Position = nestedword.Position
+	// Kind classifies a position as call, internal, or return.
+	Kind = nestedword.Kind
+	// Tree is an ordered unranked tree.
+	Tree = tree.Tree
+	// Alphabet is an interned finite symbol set.
+	Alphabet = alphabet.Alphabet
+)
+
+// Position kinds.
+const (
+	Internal = nestedword.Internal
+	Call     = nestedword.Call
+	Return   = nestedword.Return
+)
+
+// Automata.
+type (
+	// DNWA is a deterministic nested word automaton.
+	DNWA = nwa.DNWA
+	// NNWA is a nondeterministic nested word automaton.
+	NNWA = nwa.NNWA
+	// JNWA is a joinless nested word automaton.
+	JNWA = nwa.JNWA
+	// PNWA is a pushdown nested word automaton.
+	PNWA = pnwa.PNWA
+)
+
+// Constructors and conversions re-exported from the model packages.
+var (
+	// NewAlphabet builds an interned alphabet.
+	NewAlphabet = alphabet.New
+	// ParseNestedWord parses the ⟨a a a⟩ tagged notation.
+	ParseNestedWord = nestedword.Parse
+	// MustParseNestedWord is ParseNestedWord that panics on error.
+	MustParseNestedWord = nestedword.MustParse
+	// Path builds path(w), the nested word of a unary tree.
+	Path = nestedword.Path
+	// Concat concatenates nested words.
+	Concat = nestedword.Concat
+	// Insert inserts a well-matched word after every occurrence of a symbol.
+	Insert = nestedword.Insert
+	// TreeToNestedWord encodes an ordered tree as a tree word (t_nw).
+	TreeToNestedWord = tree.ToNestedWord
+	// TreeFromNestedWord decodes a tree word back to a tree (nw_t).
+	TreeFromNestedWord = tree.FromNestedWord
+	// NewDNWABuilder starts building a deterministic NWA.
+	NewDNWABuilder = nwa.NewDNWABuilder
+	// NewNNWA creates an empty nondeterministic NWA.
+	NewNNWA = nwa.NewNNWA
+	// IntersectNWA, UnionNWA and EquivalentNWA are the boolean operations and
+	// the decision procedure of Section 3.2.
+	IntersectNWA  = nwa.Intersect
+	UnionNWA      = nwa.Union
+	EquivalentNWA = nwa.Equivalent
+	// ParseDocument parses an XML-like document into a nested word.
+	ParseDocument = docstream.Parse
+	// NewStreamingRunner evaluates an automaton over a document stream.
+	NewStreamingRunner = docstream.NewStreamingRunner
+	// LinearOrderQuery, PathQuery and WellFormedQuery compile document
+	// queries to deterministic NWAs.
+	LinearOrderQuery = query.LinearOrder
+	PathQuery        = query.PathQuery
+	WellFormedQuery  = query.WellFormed
+)

@@ -1,0 +1,199 @@
+// Package docstream connects documents to nested words the way the paper's
+// introduction motivates: the SAX representation of an XML document already
+// carries open-tag / close-tag / text events, so it can be interpreted as a
+// nested word without any preprocessing, and nested word automata can then
+// query it in a single left-to-right pass whose memory is bounded by the
+// document depth.
+package docstream
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/nestedword"
+	"repro/internal/nwa"
+)
+
+// Event is a single SAX-style event: an element opening, an element closing,
+// or a text token.  It corresponds to one position of the nested word.
+type Event struct {
+	Kind  nestedword.Kind
+	Label string
+}
+
+// Tokenize parses a lightweight XML-like syntax into a stream of events:
+// "<name>" opens an element, "</name>" closes one, and any other
+// whitespace-separated token is text.  Attributes, comments, and character
+// escaping are intentionally out of scope — the point is the event stream,
+// not XML conformance.
+func Tokenize(doc string) ([]Event, error) {
+	var events []Event
+	rest := doc
+	for len(rest) > 0 {
+		switch {
+		case rest[0] == '<':
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return nil, fmt.Errorf("docstream: unterminated tag in %q", truncate(rest))
+			}
+			tag := rest[1:end]
+			rest = rest[end+1:]
+			if strings.HasPrefix(tag, "/") {
+				name := strings.TrimSpace(tag[1:])
+				if name == "" {
+					return nil, fmt.Errorf("docstream: empty closing tag")
+				}
+				events = append(events, Event{Kind: nestedword.Return, Label: name})
+			} else {
+				name := strings.TrimSpace(tag)
+				if name == "" {
+					return nil, fmt.Errorf("docstream: empty opening tag")
+				}
+				events = append(events, Event{Kind: nestedword.Call, Label: name})
+			}
+		case unicode.IsSpace(rune(rest[0])):
+			rest = rest[1:]
+		default:
+			end := strings.IndexAny(rest, "< \t\n\r")
+			if end < 0 {
+				end = len(rest)
+			}
+			events = append(events, Event{Kind: nestedword.Internal, Label: rest[:end]})
+			rest = rest[end:]
+		}
+	}
+	return events, nil
+}
+
+func truncate(s string) string {
+	if len(s) > 20 {
+		return s[:20] + "..."
+	}
+	return s
+}
+
+// ToNestedWord converts an event stream to the nested word it denotes.
+// Mismatched or missing tags simply become pending calls and returns — one
+// of the paper's arguments for nested words over trees is precisely that
+// documents that do not parse into a tree can still be represented and
+// processed.
+func ToNestedWord(events []Event) *nestedword.NestedWord {
+	ps := make([]nestedword.Position, len(events))
+	for i, e := range events {
+		ps[i] = nestedword.Position{Symbol: e.Label, Kind: e.Kind}
+	}
+	return nestedword.New(ps...)
+}
+
+// Parse tokenizes a document and returns its nested word.
+func Parse(doc string) (*nestedword.NestedWord, error) {
+	events, err := Tokenize(doc)
+	if err != nil {
+		return nil, err
+	}
+	return ToNestedWord(events), nil
+}
+
+// Render writes a nested word back in the XML-like syntax accepted by
+// Tokenize (calls become opening tags, returns closing tags, internals
+// text).
+func Render(n *nestedword.NestedWord) string {
+	var b strings.Builder
+	for i := 0; i < n.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch n.KindAt(i) {
+		case nestedword.Call:
+			b.WriteString("<" + n.SymbolAt(i) + ">")
+		case nestedword.Return:
+			b.WriteString("</" + n.SymbolAt(i) + ">")
+		default:
+			b.WriteString(n.SymbolAt(i))
+		}
+	}
+	return b.String()
+}
+
+// Stats summarizes a document stream.
+type Stats struct {
+	Positions      int
+	Elements       int
+	TextTokens     int
+	Depth          int
+	WellFormed     bool
+	PendingOpens   int
+	PendingCloses  int
+	DistinctLabels int
+}
+
+// Summarize computes document statistics in a single pass.
+func Summarize(n *nestedword.NestedWord) Stats {
+	calls, internals, _ := n.Counts()
+	st := Stats{
+		Positions:      n.Len(),
+		Elements:       calls,
+		TextTokens:     internals,
+		Depth:          n.Depth(),
+		WellFormed:     n.IsWellMatched(),
+		PendingOpens:   len(n.PendingCalls()),
+		PendingCloses:  len(n.PendingReturns()),
+		DistinctLabels: len(n.Alphabet()),
+	}
+	return st
+}
+
+// StreamingRunner evaluates a deterministic NWA over an event stream one
+// event at a time.  Its memory is the automaton state plus one hierarchical
+// state per currently open element, i.e. proportional to the document depth
+// — the streaming bound highlighted in Section 3.2.
+type StreamingRunner struct {
+	automaton *nwa.DNWA
+	state     int
+	stack     []int
+}
+
+// NewStreamingRunner creates a runner positioned at the start of a document.
+func NewStreamingRunner(a *nwa.DNWA) *StreamingRunner {
+	return &StreamingRunner{automaton: a, state: a.Start()}
+}
+
+// Feed consumes one event.
+func (r *StreamingRunner) Feed(e Event) {
+	switch e.Kind {
+	case nestedword.Internal:
+		r.state = r.automaton.StepInternal(r.state, e.Label)
+	case nestedword.Call:
+		lin, hier := r.automaton.StepCall(r.state, e.Label)
+		r.stack = append(r.stack, hier)
+		r.state = lin
+	case nestedword.Return:
+		hier := r.automaton.Start()
+		if len(r.stack) > 0 {
+			hier = r.stack[len(r.stack)-1]
+			r.stack = r.stack[:len(r.stack)-1]
+		}
+		r.state = r.automaton.StepReturn(r.state, hier, e.Label)
+	}
+}
+
+// FeedAll consumes a whole event stream.
+func (r *StreamingRunner) FeedAll(events []Event) {
+	for _, e := range events {
+		r.Feed(e)
+	}
+}
+
+// Accepting reports whether the automaton accepts the stream consumed so
+// far (viewed as a complete nested word).
+func (r *StreamingRunner) Accepting() bool { return r.automaton.IsAccepting(r.state) }
+
+// Depth returns the number of currently open elements.
+func (r *StreamingRunner) Depth() int { return len(r.stack) }
+
+// Reset returns the runner to the start of a new document.
+func (r *StreamingRunner) Reset() {
+	r.state = r.automaton.Start()
+	r.stack = r.stack[:0]
+}

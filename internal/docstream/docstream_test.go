@@ -1,0 +1,121 @@
+package docstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/generator"
+	"repro/internal/nestedword"
+	"repro/internal/query"
+)
+
+const sampleDoc = `<library> <book> <title> nested words </title> <year> 2007 </year> </book> <book> <title> tree automata </title> </book> </library>`
+
+func TestTokenizeAndParse(t *testing.T) {
+	n, err := Parse(sampleDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !n.IsWellMatched() {
+		t.Errorf("the sample document is well formed")
+	}
+	if n.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", n.Depth())
+	}
+	st := Summarize(n)
+	if st.Elements != 6 {
+		t.Errorf("elements = %d, want 6", st.Elements)
+	}
+	if st.TextTokens != 5 {
+		t.Errorf("text tokens = %d, want 5", st.TextTokens)
+	}
+	if !st.WellFormed || st.PendingOpens != 0 || st.PendingCloses != 0 {
+		t.Errorf("summary flags wrong: %+v", st)
+	}
+	if st.Positions != n.Len() || st.Depth != 3 {
+		t.Errorf("summary counts wrong: %+v", st)
+	}
+}
+
+func TestTokenizeErrorsAndPending(t *testing.T) {
+	if _, err := Parse("<unterminated"); err == nil {
+		t.Errorf("unterminated tags should fail")
+	}
+	if _, err := Parse("<>"); err == nil {
+		t.Errorf("empty opening tags should fail")
+	}
+	if _, err := Parse("</ >"); err == nil {
+		t.Errorf("empty closing tags should fail")
+	}
+	// Documents that do not parse into a tree are still representable.
+	n, err := Parse("</p> <a> text <b>")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.IsWellMatched() {
+		t.Errorf("this fragment has pending tags")
+	}
+	st := Summarize(n)
+	if st.PendingOpens != 2 || st.PendingCloses != 1 {
+		t.Errorf("pending counts wrong: %+v", st)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	n, err := Parse(sampleDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	back, err := Parse(Render(n))
+	if err != nil {
+		t.Fatalf("Parse(Render): %v", err)
+	}
+	if !n.Equal(back) {
+		t.Errorf("render/parse round trip failed")
+	}
+}
+
+func TestStreamingRunnerMatchesBatch(t *testing.T) {
+	n, err := Parse(sampleDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	alpha := docAlphabet(n)
+	q := query.WellFormed(alpha)
+	events, _ := Tokenize(sampleDoc)
+	r := NewStreamingRunner(q)
+	r.FeedAll(events)
+	if r.Accepting() != q.Accepts(n) {
+		t.Errorf("streaming and batch evaluation disagree")
+	}
+	if r.Depth() != 0 {
+		t.Errorf("all elements are closed at the end of the document")
+	}
+	r.Reset()
+	r.Feed(Event{Kind: nestedword.Call, Label: "library"})
+	if r.Depth() != 1 {
+		t.Errorf("depth after one open tag should be 1")
+	}
+}
+
+func TestStreamingRunnerOnRandomDocuments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		doc := generator.RandomDocument(rng, 80, 6, labels)
+		q := query.WellFormed(docAlphabet(doc))
+		r := NewStreamingRunner(q)
+		for i := 0; i < doc.Len(); i++ {
+			r.Feed(Event{Kind: doc.KindAt(i), Label: doc.SymbolAt(i)})
+		}
+		if r.Accepting() != q.Accepts(doc) {
+			t.Fatalf("streaming disagrees with batch on %v", doc)
+		}
+	}
+}
+
+// docAlphabet builds the alphabet of labels occurring in the document.
+func docAlphabet(n *nestedword.NestedWord) *alphabet.Alphabet {
+	return alphabet.New(n.Alphabet()...)
+}

@@ -1,0 +1,751 @@
+// Package experiments computes the rows of every experiment listed in
+// DESIGN.md and EXPERIMENTS.md: each function reproduces one theorem, lemma,
+// or figure of "Marrying Words and Trees" on the concrete instance families
+// from the internal/generator package and returns a printable table.  The
+// root bench_test.go times these computations and cmd/nwbench prints them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/generator"
+	"repro/internal/nestedword"
+	"repro/internal/nwa"
+	"repro/internal/pda"
+	"repro/internal/pnwa"
+	"repro/internal/pta"
+	"repro/internal/query"
+	"repro/internal/sat"
+	"repro/internal/tree"
+	"repro/internal/treeauto"
+	"repro/internal/word"
+)
+
+// Table is one experiment's result: a title, a header, and data rows.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table in a fixed-width layout.
+func (t Table) String() string {
+	out := t.Name + "\n"
+	out += formatRow(t.Header)
+	for _, r := range t.Rows {
+		out += formatRow(r)
+	}
+	return out
+}
+
+func formatRow(cells []string) string {
+	out := ""
+	for _, c := range cells {
+		out += fmt.Sprintf("%-22s", c)
+	}
+	return out + "\n"
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func btoa(v bool) string    { return fmt.Sprintf("%v", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// E01Encodings checks the Figure 1 examples and random round trips through
+// the nw_w / w_nw and t_nw / nw_t encodings.
+func E01Encodings() Table {
+	rng := rand.New(rand.NewSource(1))
+	figure1 := []string{"a b <a a <b a b> a> <a b a a>", "a a> <b a a> <a <a", "<a <a a> <b b> a>"}
+	okFig := 0
+	for _, s := range figure1 {
+		n := nestedword.MustParse(s)
+		if nestedword.FromTagged(n.ToTagged()).Equal(n) {
+			okFig++
+		}
+	}
+	trials, okTree := 500, 0
+	for i := 0; i < trials; i++ {
+		tr := generator.RandomTree(rng, 1+rng.Intn(30), []string{"a", "b"})
+		back, err := tree.FromNestedWord(tree.ToNestedWord(tr))
+		if err == nil && tr.Equal(back) {
+			okTree++
+		}
+	}
+	return Table{
+		Name:   "E1 (Figure 1): nested-word and tree-word encodings round-trip",
+		Header: []string{"check", "instances", "round-trips"},
+		Rows: [][]string{
+			{"figure-1 words", itoa(len(figure1)), itoa(okFig)},
+			{"random trees", itoa(trials), itoa(okTree)},
+		},
+	}
+}
+
+// E02WeakConversion measures Theorem 1: weak NWAs with s·(|Σ|+1) states.
+func E02WeakConversion() Table {
+	rng := rand.New(rand.NewSource(2))
+	rows := [][]string{}
+	for _, s := range []int{2, 3, 4, 6} {
+		d := randomDNWA(rng, s)
+		w := d.ToWeak()
+		equivalent := nwa.Equivalent(d, w)
+		rows = append(rows, []string{
+			itoa(s), itoa(d.NumStates()), itoa(w.NumStates()),
+			itoa(d.NumStates() * 3), btoa(w.IsWeak()), btoa(equivalent),
+		})
+	}
+	return Table{
+		Name:   "E2 (Theorem 1): every NWA has an equivalent weak NWA with s(|Σ|+1) states",
+		Header: []string{"s", "states", "weak states", "bound", "is weak", "equivalent"},
+		Rows:   rows,
+	}
+}
+
+// E03FlatEquivalence measures Theorem 2: flat NWAs ≡ word DFAs over Σ̂.
+func E03FlatEquivalence() Table {
+	rng := rand.New(rand.NewSource(3))
+	rows := [][]string{}
+	tagged := nwa.TaggedAlphabet(generator.AB)
+	for _, s := range []int{4, 8, 16, 32} {
+		b := word.NewDFABuilder(tagged, s)
+		b.SetStart(0)
+		for q := 0; q < s; q++ {
+			if rng.Intn(2) == 0 {
+				b.SetAccept(q)
+			}
+			for _, sym := range tagged.Symbols() {
+				b.AddTransition(q, sym, rng.Intn(s))
+			}
+		}
+		dfa := b.Build()
+		flat := nwa.FlatFromDFA(dfa, generator.AB)
+		back := nwa.FlatToDFA(flat)
+		rows = append(rows, []string{
+			itoa(s), itoa(flat.NumStates()), btoa(flat.IsFlat()), btoa(word.Equivalent(dfa, back)),
+		})
+	}
+	return Table{
+		Name:   "E3 (Theorem 2): flat NWAs are word DFAs over the tagged alphabet",
+		Header: []string{"DFA states", "flat NWA states", "is flat", "round-trip equivalent"},
+		Rows:   rows,
+	}
+}
+
+// E04NWAvsDFA measures Theorem 3: L_s = path(Σ^s) needs 2^s DFA states but
+// O(s) NWA states.
+func E04NWAvsDFA(maxS int) Table {
+	rows := [][]string{}
+	for s := 2; s <= maxS; s++ {
+		a := generator.Theorem3NWA(s)
+		dfaStates := generator.Theorem3TaggedNFA(s).MinimalDFASize()
+		rows = append(rows, []string{
+			itoa(s), itoa(a.NumStates()), itoa(dfaStates), itoa(1 << s),
+			ftoa(float64(dfaStates) / float64(a.NumStates())),
+		})
+	}
+	return Table{
+		Name:   "E4 (Theorem 3): NWA O(s) states vs minimal word DFA ≥ 2^s states",
+		Header: []string{"s", "NWA states", "min DFA states", "2^s", "ratio"},
+		Rows:   rows,
+	}
+}
+
+// E05BottomUpConversion measures Theorem 4: bottom-up NWAs with ≤ s^s·|Σ|
+// states equivalent on well-matched words.
+func E05BottomUpConversion() Table {
+	rng := rand.New(rand.NewSource(5))
+	rows := [][]string{}
+	for _, s := range []int{2, 3, 4} {
+		d := randomDNWA(rng, s)
+		bu := d.ToBottomUp()
+		agree := true
+		for i := 0; i < 200; i++ {
+			n := generator.RandomDocument(rng, 12, 4, []string{"a", "b"})
+			if d.Accepts(n) != bu.Accepts(n) {
+				agree = false
+			}
+		}
+		rows = append(rows, []string{
+			itoa(s), itoa(d.NumStates()), itoa(bu.NumStates()),
+			ftoa(nwa.BottomUpStateBound(d.NumStates(), 2)), btoa(bu.IsBottomUp()), btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E5 (Theorem 4): bottom-up conversion, reachable states vs the s^s|Σ| bound",
+		Header: []string{"s", "states", "bottom-up states", "bound", "is bottom-up", "agree on WNW"},
+		Rows:   rows,
+	}
+}
+
+// E06FlatVsBottomUp measures Theorem 5: the flat automaton has O(s²) states
+// while every bottom-up NWA needs 2^s states (measured as the number of
+// pairwise-inequivalent well-matched block words).
+func E06FlatVsBottomUp(maxS int) Table {
+	rows := [][]string{}
+	for s := 2; s <= maxS; s++ {
+		dfa := generator.Theorem5FlatDFA(s)
+		flat := nwa.FlatFromDFA(dfa, generator.AB)
+		signatures := map[string]bool{}
+		for mask := 0; mask < 1<<s; mask++ {
+			blocks := generator.Theorem5BlockWord(s, mask)
+			sig := make([]byte, s)
+			for i := 1; i <= s; i++ {
+				if flat.Accepts(generator.Theorem5Context(i, blocks)) {
+					sig[i-1] = '1'
+				} else {
+					sig[i-1] = '0'
+				}
+			}
+			signatures[string(sig)] = true
+		}
+		rows = append(rows, []string{
+			itoa(s), itoa(dfa.NumStates()), itoa(len(signatures)), itoa(1 << s),
+		})
+	}
+	return Table{
+		Name:   "E6 (Theorem 5): flat NWA O(s²) states vs ≥ 2^s congruence classes for bottom-up NWAs",
+		Header: []string{"s", "flat states", "distinct classes", "2^s"},
+		Rows:   rows,
+	}
+}
+
+// E07JoinlessSeparation demonstrates Theorem 6's ingredients: the language
+// "tree word AND contains an a-labelled position" is accepted by an NWA; its
+// two conjuncts are each accepted by one of the deterministic joinless
+// subclasses (flat / top-down) but the conjunction requires joining.
+func E07JoinlessSeparation() Table {
+	rng := rand.New(rand.NewSource(7))
+	alpha := generator.AB
+	treeWord := query.WellFormed(alpha) // matched tags: the tree-word shape check
+	containsA := query.ContainsLabel(alpha, "a")
+	conj := nwa.Intersect(treeWord, containsA)
+	agree := 0
+	trials := 400
+	for i := 0; i < trials; i++ {
+		n := generator.RandomNestedWord(rng, 10, []string{"a", "b"})
+		want := containsAPredicate(n) && wellFormedPredicate(n)
+		if conj.Accepts(n) == want {
+			agree++
+		}
+	}
+	return Table{
+		Name:   "E7 (Theorem 6): the conjunction needs a join; an NWA product handles it",
+		Header: []string{"automaton", "states", "checked", "agree"},
+		Rows: [][]string{
+			{"matched tags (det joinless: flat side fails)", itoa(treeWord.NumStates()), "-", "-"},
+			{"contains a (det joinless: top-down side fails)", itoa(containsA.NumStates()), "-", "-"},
+			{"conjunction as NWA product", itoa(conj.NumStates()), itoa(trials), itoa(agree)},
+		},
+	}
+}
+
+// E08JoinlessConversion measures Theorem 7: nondeterministic joinless NWAs
+// with O(s²|Σ|) states.
+func E08JoinlessConversion() Table {
+	rng := rand.New(rand.NewSource(8))
+	rows := [][]string{}
+	for _, s := range []int{2, 3, 4, 6} {
+		a := randomNNWA(rng, s)
+		j := a.ToJoinless()
+		agree := true
+		for i := 0; i < 150; i++ {
+			n := generator.RandomDocument(rng, 10, 4, []string{"a", "b"})
+			if a.Accepts(n) != j.Accepts(n) {
+				agree = false
+			}
+		}
+		rows = append(rows, []string{
+			itoa(s), itoa(j.NumStates()), itoa(nwa.JoinlessStateBound(s, 2)), btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E8 (Theorem 7): nondeterministic joinless NWAs with O(s²|Σ|) states",
+		Header: []string{"s", "joinless states", "bound", "agree on WNW"},
+		Rows:   rows,
+	}
+}
+
+// E09PathSuccinctness measures Theorem 8 on the family L_s = Σ^s a Σ* a Σ^s.
+func E09PathSuccinctness(maxS int) Table {
+	rows := [][]string{}
+	for s := 2; s <= maxS; s++ {
+		a := generator.Theorem8NWA(s)
+		dfa := word.CompileRegexDFA(generator.Theorem8Regex(s), generator.AB)
+		topDown := treeauto.MinimalTopDownPathStates(dfa)
+		bottomUp := treeauto.MinimalBottomUpPathStates(dfa)
+		rows = append(rows, []string{
+			itoa(s), itoa(a.NumStates()), itoa(topDown), itoa(bottomUp), itoa(1 << s),
+		})
+	}
+	return Table{
+		Name:   "E9 (Theorem 8): path family — NWA O(s) vs deterministic top-down/bottom-up ≥ 2^s",
+		Header: []string{"s", "NWA states", "top-down states", "bottom-up states", "2^s"},
+		Rows:   rows,
+	}
+}
+
+// E10LinearOrderQuery measures the introduction's query Σ*p1Σ*...pnΣ*.
+func E10LinearOrderQuery(maxN int) Table {
+	rows := [][]string{}
+	for n := 2; n <= maxN; n++ {
+		alpha := generator.LinearOrderAlphabet(n)
+		patterns := make([]string, n)
+		for i := range patterns {
+			patterns[i] = "p" + itoa(i+1)
+		}
+		dfa := word.CompileRegexDFA(word.LinearOrderQuery(patterns...), alpha)
+		flat := query.LinearOrder(alpha, patterns...)
+		// Congruence classes of well-matched fragments for the bottom-up view:
+		// the 2^n subsets of patterns, distinguished by contexts that provide
+		// the other patterns in order.
+		signatures := map[string]bool{}
+		for mask := 0; mask < 1<<n; mask++ {
+			doc := generator.LinearOrderDocument(n, mask)
+			sig := make([]byte, n)
+			for i := 0; i < n; i++ {
+				before := generator.LinearOrderDocument(n, (1<<i)-1)
+				after := generator.LinearOrderDocument(n, ((1<<n)-1)&^((1<<(i+1))-1))
+				assembled := nestedword.Concat(before, doc, after)
+				if flat.Accepts(assembled) {
+					sig[i] = '1'
+				} else {
+					sig[i] = '0'
+				}
+			}
+			signatures[string(sig)] = true
+		}
+		rows = append(rows, []string{
+			itoa(n), itoa(dfa.NumStates()), itoa(flat.NumStates()), itoa(len(signatures)), itoa(1 << n),
+		})
+	}
+	return Table{
+		Name:   "E10 (introduction): linear-order query — linear-size DFA/flat NWA vs ≥ 2^n bottom-up classes",
+		Header: []string{"n", "min DFA states", "flat NWA states", "distinct classes", "2^n"},
+		Rows:   rows,
+	}
+}
+
+// E11TreeAutomataEmbedding measures Lemmas 1–3: tree automata embed into the
+// corresponding NWA subclasses.
+func E11TreeAutomataEmbedding() Table {
+	rng := rand.New(rand.NewSource(11))
+	// Lemma 1: stepwise bottom-up automaton for "even number of a-nodes".
+	b := treeauto.NewStepwiseBuilder(generator.AB, 2)
+	b.Init("a", 1).Init("b", 0)
+	b.Step(0, 0, 0).Step(0, 1, 1).Step(1, 0, 1).Step(1, 1, 0)
+	b.Accept(0)
+	stepwise := b.Build()
+	embedded := stepwise.ToBottomUpNWA()
+	agree1, trials := 0, 300
+	for i := 0; i < trials; i++ {
+		tr := generator.RandomTree(rng, 1+rng.Intn(20), []string{"a", "b"})
+		if stepwise.Accepts(tr) == embedded.Accepts(tree.ToNestedWord(tr)) {
+			agree1++
+		}
+	}
+	// Lemma 3: top-down path automaton from a DFA.
+	dfa := word.CompileRegexDFA(word.Concat(word.SigmaStar(), word.Symbol("a")), generator.AB)
+	pathAuto := treeauto.TopDownPathJNWA(dfa, generator.AB)
+	agree2 := 0
+	for i := 0; i < trials; i++ {
+		l := rng.Intn(8)
+		w := make([]string, l)
+		for j := range w {
+			w[j] = []string{"a", "b"}[rng.Intn(2)]
+		}
+		if pathAuto.Accepts(nestedword.Path(w...)) == dfa.Accepts(w) {
+			agree2++
+		}
+	}
+	return Table{
+		Name:   "E11 (Lemmas 1–3): tree automata embed into bottom-up / top-down NWAs",
+		Header: []string{"embedding", "states", "checked", "agree"},
+		Rows: [][]string{
+			{"stepwise → bottom-up NWA", itoa(embedded.NumStates()), itoa(trials), itoa(agree1)},
+			{"DFA → top-down path NWA", itoa(pathAuto.NumStates()), itoa(trials), itoa(agree2)},
+		},
+	}
+}
+
+// E12PDAEmbedding measures Lemma 4: context-free word languages over Σ̂ are
+// pushdown-NWA languages.
+func E12PDAEmbedding() Table {
+	rng := rand.New(rand.NewSource(12))
+	machine := balancedTagPDA()
+	alphaA := alphabet.New("a")
+	p := pnwa.FromPDA(machine, alphaA)
+	agree, trials := 0, 200
+	for i := 0; i < trials; i++ {
+		n := generator.RandomNestedWord(rng, 10, []string{"a"})
+		tagged := taggedStrings(n)
+		if machine.Accepts(tagged) == p.Accepts(n) {
+			agree++
+		}
+	}
+	return Table{
+		Name:   "E12 (Lemma 4): pushdown word automata embed into pushdown NWAs",
+		Header: []string{"PDA states", "PNWA states", "checked", "agree"},
+		Rows:   [][]string{{itoa(machine.NumStates()), itoa(p.NumStates()), itoa(trials), itoa(agree)}},
+	}
+}
+
+// E13PTAEmbedding measures Lemma 5 on the context-free tree language
+// { c^n(d^n(e)) }: the pushdown tree automaton and the pushdown NWA over the
+// corresponding tree words agree.
+func E13PTAEmbedding() Table {
+	machine := stemCounterPTA()
+	pnwaMachine := stemCounterPNWA()
+	rows := [][]string{}
+	for n := 0; n <= 6; n++ {
+		for _, m := range []int{n, n + 1} {
+			tr := stemTree(n, m)
+			treeVerdict := machine.Accepts(tr)
+			wordVerdict := pnwaMachine.Accepts(tree.ToNestedWord(tr))
+			rows = append(rows, []string{
+				fmt.Sprintf("c^%d d^%d e", n, m), btoa(n == m), btoa(treeVerdict), btoa(wordVerdict),
+			})
+		}
+	}
+	return Table{
+		Name:   "E13 (Lemma 5): a context-free tree language as a PTA and as a pushdown NWA",
+		Header: []string{"tree", "in language", "PTA verdict", "PNWA verdict"},
+		Rows:   rows,
+	}
+}
+
+// E14CountingSeparation measures Theorem 9: "equal numbers of a's and b's"
+// as a pushdown NWA on the stem-plus-full-binary-tree family of Figure 2.
+func E14CountingSeparation(maxS int) Table {
+	p := pnwa.EqualCounts()
+	rows := [][]string{}
+	addRow := func(label string, tr *tree.Tree) {
+		n := tree.ToNestedWord(tr)
+		as := 2 * tr.CountLabel("a")
+		bs := 2 * tr.CountLabel("b")
+		rows = append(rows, []string{
+			label, itoa(as), itoa(bs), btoa(as == bs), btoa(p.Accepts(n)),
+		})
+	}
+	for s := 1; s <= maxS; s++ {
+		// The Figure 2 shape: a stem of 2s a-nodes over a full binary tree of
+		// depth s — the counts never balance, which is what the pumping
+		// argument exploits.
+		addRow(fmt.Sprintf("stem 2·%d + binary depth %d", s, s), generator.Figure2Tree(s))
+		// A balanced variant: a stem of 2^s−1 a-nodes balances the binary
+		// part exactly, giving positive instances as well.
+		balanced := tree.Stem("a", (1<<s)-1, tree.FullBinary("b", s))
+		addRow(fmt.Sprintf("stem %d + binary depth %d", (1<<s)-1, s), balanced)
+	}
+	return Table{
+		Name:   "E14 (Theorem 9, Figure 2): equal-count language on stem + full binary tree families",
+		Header: []string{"tree", "a-positions", "b-positions", "in language", "PNWA verdict"},
+		Rows:   rows,
+	}
+}
+
+// E15MembershipNPReduction measures Theorem 10: CNF satisfiability reduces
+// to pushdown-NWA membership and agrees with DPLL.
+func E15MembershipNPReduction() Table {
+	rng := rand.New(rand.NewSource(15))
+	rows := [][]string{}
+	for _, size := range [][2]int{{4, 8}, {6, 12}, {8, 16}, {10, 24}} {
+		v, s := size[0], size[1]
+		agreements, satCount := 0, 0
+		trials := 10
+		for i := 0; i < trials; i++ {
+			f := sat.Random3CNF(rng, v, s)
+			inst := pnwa.NewCNFMembershipInstance(f)
+			bySolver := f.Satisfiable()
+			byMembership := inst.Satisfiable()
+			if bySolver == byMembership {
+				agreements++
+			}
+			if bySolver {
+				satCount++
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("v=%d s=%d", v, s), itoa(trials), itoa(satCount), itoa(agreements),
+		})
+	}
+	return Table{
+		Name:   "E15 (Theorem 10): CNF satisfiability via pushdown-NWA membership vs DPLL",
+		Header: []string{"instance size", "formulas", "satisfiable", "reduction agrees"},
+		Rows:   rows,
+	}
+}
+
+// E16PNWAEmptiness measures Theorem 11: emptiness by R(q,U,q') saturation on
+// the automata of the other pushdown experiments.
+func E16PNWAEmptiness() Table {
+	equal := pnwa.EqualCounts()
+	embedded := pnwa.FromPDA(balancedTagPDA(), alphabet.New("a"))
+	emptyAutomaton := pnwa.New(alphabet.New("a"), 2)
+	emptyAutomaton.AddStart(0)
+	emptyAutomaton.AddInternal(0, "a", 1) // no state can pop ⊥
+	unsat := pnwa.NewCNFMembershipInstance(sat.New(1, sat.Clause{1}, sat.Clause{-1}))
+	satisfiable := pnwa.NewCNFMembershipInstance(sat.New(2, sat.Clause{1, -2}, sat.Clause{2}))
+	rows := [][]string{
+		{"equal-counts (Thm 9)", btoa(equal.IsEmpty()), itoa(equal.SummaryCount())},
+		{"embedded Dyck PDA (Lemma 4)", btoa(embedded.IsEmpty()), itoa(embedded.SummaryCount())},
+		{"no state pops the bottom symbol", btoa(emptyAutomaton.IsEmpty()), itoa(emptyAutomaton.SummaryCount())},
+		{"CNF automaton, unsatisfiable formula", btoa(unsat.Automaton.IsEmpty()), itoa(unsat.Automaton.SummaryCount())},
+		{"CNF automaton, satisfiable formula", btoa(satisfiable.Automaton.IsEmpty()), itoa(satisfiable.Automaton.SummaryCount())},
+	}
+	return Table{
+		Name:   "E16 (Theorem 11): pushdown-NWA emptiness by summary saturation",
+		Header: []string{"automaton", "empty", "summaries"},
+		Rows:   rows,
+	}
+}
+
+// E17Determinization measures the 2^(s²) determinization bound.
+func E17Determinization() Table {
+	rng := rand.New(rand.NewSource(17))
+	rows := [][]string{}
+	for _, s := range []int{2, 3, 4} {
+		a := randomNNWA(rng, s)
+		d := a.Determinize()
+		agree := true
+		for i := 0; i < 200; i++ {
+			n := generator.RandomNestedWord(rng, 10, []string{"a", "b"})
+			if a.Accepts(n) != d.Accepts(n) {
+				agree = false
+			}
+		}
+		rows = append(rows, []string{
+			itoa(s), itoa(d.NumStates()), fmt.Sprintf("2^%d", s*s), btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E17 (Section 3.2): determinization — reachable deterministic states vs the 2^(s²) bound",
+		Header: []string{"s", "det states (reachable)", "bound", "language preserved"},
+		Rows:   rows,
+	}
+}
+
+// E19DecisionProcedures measures the linear-time membership and cubic
+// emptiness claims on growing inputs.
+func E19DecisionProcedures() Table {
+	rng := rand.New(rand.NewSource(19))
+	q := query.WellFormed(generator.AB)
+	rows := [][]string{}
+	for _, size := range []int{1000, 10000, 100000} {
+		doc := generator.RandomDocument(rng, size, 32, []string{"a", "b"})
+		verdict := q.Accepts(doc)
+		rows = append(rows, []string{
+			itoa(size), itoa(doc.Depth()), btoa(verdict), btoa(!q.IsEmpty()),
+		})
+	}
+	return Table{
+		Name:   "E19 (Section 3.2): membership is single-pass with stack bounded by depth; emptiness decidable",
+		Header: []string{"document positions", "depth", "accepted", "automaton non-empty"},
+		Rows:   rows,
+	}
+}
+
+// E20Streaming measures the streaming evaluation of documents.
+func E20Streaming() Table {
+	rng := rand.New(rand.NewSource(20))
+	alpha := alphabet.New("a", "b", "c")
+	q := query.PathQuery(alpha, "a", "b")
+	rows := [][]string{}
+	for _, size := range []int{1000, 10000, 100000} {
+		doc := generator.RandomDocument(rng, size, 24, []string{"a", "b", "c"})
+		runner := docstream.NewStreamingRunner(q)
+		maxDepth := 0
+		for i := 0; i < doc.Len(); i++ {
+			runner.Feed(docstream.Event{Kind: doc.KindAt(i), Label: doc.SymbolAt(i)})
+			if runner.Depth() > maxDepth {
+				maxDepth = runner.Depth()
+			}
+		}
+		rows = append(rows, []string{
+			itoa(doc.Len()), itoa(maxDepth), btoa(runner.Accepting()),
+		})
+	}
+	return Table{
+		Name:   "E20 (Section 1): streaming documents as nested words, memory bounded by depth",
+		Header: []string{"positions", "max open elements", "query verdict"},
+		Rows:   rows,
+	}
+}
+
+// All returns every experiment table with moderate default parameters.
+func All() []Table {
+	return []Table{
+		E01Encodings(),
+		E02WeakConversion(),
+		E03FlatEquivalence(),
+		E04NWAvsDFA(10),
+		E05BottomUpConversion(),
+		E06FlatVsBottomUp(8),
+		E07JoinlessSeparation(),
+		E08JoinlessConversion(),
+		E09PathSuccinctness(10),
+		E10LinearOrderQuery(8),
+		E11TreeAutomataEmbedding(),
+		E12PDAEmbedding(),
+		E13PTAEmbedding(),
+		E14CountingSeparation(6),
+		E15MembershipNPReduction(),
+		E16PNWAEmptiness(),
+		E17Determinization(),
+		E19DecisionProcedures(),
+		E20Streaming(),
+	}
+}
+
+// --- helpers -----------------------------------------------------------
+
+func randomDNWA(rng *rand.Rand, n int) *nwa.DNWA {
+	b := nwa.NewDNWABuilder(generator.AB, n)
+	b.SetStart(rng.Intn(n))
+	for q := 0; q < n; q++ {
+		if rng.Intn(2) == 0 {
+			b.SetAccept(q)
+		}
+		for _, sym := range []string{"a", "b"} {
+			b.Internal(q, sym, rng.Intn(n))
+			b.Call(q, sym, rng.Intn(n), rng.Intn(n))
+		}
+	}
+	for lin := 0; lin < n; lin++ {
+		for hier := 0; hier < n; hier++ {
+			for _, sym := range []string{"a", "b"} {
+				b.Return(lin, hier, sym, rng.Intn(n))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func randomNNWA(rng *rand.Rand, n int) *nwa.NNWA {
+	a := nwa.NewNNWA(generator.AB, n)
+	a.AddStart(rng.Intn(n))
+	a.AddAccept(rng.Intn(n))
+	edges := 2 + rng.Intn(4*n)
+	for i := 0; i < edges; i++ {
+		sym := []string{"a", "b"}[rng.Intn(2)]
+		switch rng.Intn(3) {
+		case 0:
+			a.AddInternal(rng.Intn(n), sym, rng.Intn(n))
+		case 1:
+			a.AddCall(rng.Intn(n), sym, rng.Intn(n), rng.Intn(n))
+		default:
+			a.AddReturn(rng.Intn(n), rng.Intn(n), sym, rng.Intn(n))
+		}
+	}
+	return a
+}
+
+func containsAPredicate(n *nestedword.NestedWord) bool {
+	for i := 0; i < n.Len(); i++ {
+		if n.SymbolAt(i) == "a" {
+			return true
+		}
+	}
+	return false
+}
+
+func wellFormedPredicate(n *nestedword.NestedWord) bool {
+	if !n.IsWellMatched() {
+		return false
+	}
+	for i := 0; i < n.Len(); i++ {
+		if n.KindAt(i) == nestedword.Call {
+			j, _ := n.ReturnSuccessor(i)
+			if n.SymbolAt(j) != n.SymbolAt(i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// balancedTagPDA accepts tagged words over {<a, a, a>} with balanced calls
+// and returns (internals anywhere).
+func balancedTagPDA() *pda.PDA {
+	tagged := alphabet.New("<a", "a", "a>")
+	p := pda.New(tagged, 4)
+	const ready, afterOpen, afterShut, done = 0, 1, 2, 3
+	p.AddStart(ready)
+	p.AddRead(ready, "<a", afterOpen)
+	p.AddPush(afterOpen, ready, "X")
+	p.AddRead(ready, "a", ready)
+	p.AddRead(ready, "a>", afterShut)
+	p.AddPop(afterShut, "X", ready)
+	p.AddPopBottom(ready, done)
+	return p
+}
+
+func taggedStrings(n *nestedword.NestedWord) []string {
+	out := make([]string, n.Len())
+	for i := 0; i < n.Len(); i++ {
+		switch n.KindAt(i) {
+		case nestedword.Call:
+			out[i] = "<" + n.SymbolAt(i)
+		case nestedword.Return:
+			out[i] = n.SymbolAt(i) + ">"
+		default:
+			out[i] = n.SymbolAt(i)
+		}
+	}
+	return out
+}
+
+// stemCounterPTA accepts the trees c^n(d^n(e)).
+func stemCounterPTA() *pta.PTA {
+	alpha := alphabet.New("c", "d", "e")
+	p := pta.New(alpha, 5)
+	const readC, pushed, readD, popped, leaf = 0, 1, 2, 3, 4
+	p.AddStart(readC)
+	p.AddUnary(readC, "c", pushed)
+	p.AddPush(pushed, readC, "X")
+	p.AddUnary(readC, "d", popped)
+	p.AddUnary(readD, "d", popped)
+	p.AddPop(popped, "X", readD)
+	p.AddLeaf(readC, "e", leaf)
+	p.AddLeaf(readD, "e", leaf)
+	p.AddPopBottom(leaf, leaf)
+	return p
+}
+
+// stemCounterPNWA accepts the tree words of c^n(d^n(e)) by running the
+// corresponding pushdown word automaton over the tagged encoding (the
+// Lemma 4/5 route to a pushdown NWA for this context-free tree language).
+func stemCounterPNWA() *pnwa.PNWA {
+	alpha := alphabet.New("c", "d", "e")
+	tagged := alphabet.New("<c", "c", "c>", "<d", "d", "d>", "<e", "e", "e>")
+	p := pda.New(tagged, 7)
+	const downC, pushed, downD, popped, leafIn, up, done = 0, 1, 2, 3, 4, 5, 6
+	p.AddStart(downC)
+	// One X per opening c; each opening d pops one X, so the counts must
+	// match for the stack to reach ⊥ exactly when the leaf is read.
+	p.AddRead(downC, "<c", pushed)
+	p.AddPush(pushed, downC, "X")
+	p.AddRead(downC, "<d", popped)
+	p.AddRead(downD, "<d", popped)
+	p.AddPop(popped, "X", downD)
+	p.AddRead(downC, "<e", leafIn)
+	p.AddRead(downD, "<e", leafIn)
+	p.AddRead(leafIn, "e>", up)
+	p.AddRead(up, "d>", up)
+	p.AddRead(up, "c>", up)
+	p.AddPopBottom(up, done)
+	return pnwa.FromPDA(p, alpha)
+}
+
+// stemTree builds c^n(d^m(e)).
+func stemTree(n, m int) *tree.Tree {
+	t := tree.Leaf("e")
+	for i := 0; i < m; i++ {
+		t = tree.New("d", t)
+	}
+	for i := 0; i < n; i++ {
+		t = tree.New("c", t)
+	}
+	return t
+}

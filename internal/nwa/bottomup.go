@@ -1,0 +1,189 @@
+package nwa
+
+// Bottom-up nested word automata (Section 3.4, Theorem 4): an NWA is
+// bottom-up if the linear component of its call-transition function does not
+// depend on the current state, δ^l_c(q, a) = δ^l_c(q', a) for all q, q'.
+// A bottom-up automaton therefore processes every rooted subword without
+// using the prefix before it, exactly like a bottom-up tree automaton.
+//
+// Theorem 4: any NWA with s states over Σ has a weak bottom-up NWA with at
+// most s^s·|Σ| states that agrees with it on all well-matched nested words.
+// The construction below builds the automaton whose states are pairs
+// (f, a) of a function f : Q → Q and the symbol a labelling the call-parent
+// of the current position (with an extra "top level" marker, as in ToWeak):
+// f records, for every state q of A, the state A reaches from q over the
+// subword starting at the call-parent of the current position.  Only
+// reachable (f, a) pairs are materialized.
+
+// IsBottomUp reports whether the deterministic automaton is bottom-up.  The
+// implicit dead state added by the builder is ignored.
+func (d *DNWA) IsBottomUp() bool {
+	for s := 0; s < d.alpha.Size(); s++ {
+		sym := d.alpha.Symbol(s)
+		ref, haveRef := -1, false
+		for q := 0; q < d.num; q++ {
+			if q == d.dead {
+				continue
+			}
+			lin, _ := d.StepCall(q, sym)
+			if !haveRef {
+				ref, haveRef = lin, true
+				continue
+			}
+			if lin != ref {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToBottomUp implements the construction of Theorem 4.  The result is a weak
+// bottom-up NWA B with L(B) ∩ WNW(Σ) = L(A) ∩ WNW(Σ); as the paper notes,
+// bottom-up automata cannot track unmatched calls, so no equivalence is
+// promised on words with pending calls.
+func (d *DNWA) ToBottomUp() *DNWA {
+	n := d.num
+	syms := d.alpha.Symbols()
+	top := len(syms) // call-parent marker for top-level positions
+
+	// A state of B is (f, parent) with f : Q → Q represented as a slice.
+	type buState struct {
+		f      []int
+		parent int
+	}
+	encode := func(st buState) string {
+		buf := make([]byte, 0, 4*len(st.f)+4)
+		put := func(v int) { buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+		put(st.parent)
+		for _, v := range st.f {
+			put(v)
+		}
+		return string(buf)
+	}
+	var states []buState
+	index := make(map[string]int)
+	intern := func(st buState) int {
+		k := encode(st)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(states)
+		index[k] = id
+		states = append(states, st)
+		return id
+	}
+
+	identity := make([]int, n)
+	for q := range identity {
+		identity[q] = q
+	}
+	start := intern(buState{f: identity, parent: top})
+
+	// afterCall[s] is the state reached after an s-labelled call; it does
+	// not depend on the state before the call, which makes B bottom-up.
+	afterCall := make([]int, len(syms))
+	for s, sym := range syms {
+		f := make([]int, n)
+		for q := 0; q < n; q++ {
+			lin, _ := d.StepCall(q, sym)
+			f[q] = lin
+		}
+		afterCall[s] = intern(buState{f: f, parent: s})
+	}
+
+	type ckey struct{ from, sym int }
+	type rkey struct{ lin, hier, sym int }
+	internalT := make(map[ckey]int)
+	callT := make(map[ckey]callTarget)
+	returnT := make(map[rkey]int)
+
+	// Iterate to a fixpoint: internal and call rows depend only on the
+	// current state, return rows combine the current state with any state
+	// that can label a hierarchical edge (B is weak, so that is any
+	// reachable state).
+	for {
+		before := len(states)
+		for i := 0; i < len(states); i++ {
+			st := states[i]
+			for s, sym := range syms {
+				key := ckey{i, s}
+				if _, ok := internalT[key]; !ok {
+					g := make([]int, n)
+					for q := 0; q < n; q++ {
+						g[q] = d.StepInternal(st.f[q], sym)
+					}
+					internalT[key] = intern(buState{f: g, parent: st.parent})
+				}
+				if _, ok := callT[key]; !ok {
+					callT[key] = callTarget{Linear: afterCall[s], Hier: i}
+				}
+			}
+		}
+		for lin := 0; lin < len(states); lin++ {
+			for hier := 0; hier < len(states); hier++ {
+				for s, sym := range syms {
+					key := rkey{lin, hier, s}
+					if _, ok := returnT[key]; ok {
+						continue
+					}
+					cur, below := states[lin], states[hier]
+					g := make([]int, n)
+					if cur.parent == top {
+						// Pending return: A's hierarchical state is q0 and the
+						// call-parent stays at top level.
+						for q := 0; q < n; q++ {
+							g[q] = d.StepReturn(cur.f[q], d.start, sym)
+						}
+						returnT[key] = intern(buState{f: g, parent: top})
+					} else {
+						// Matched return: the call-parent's symbol is
+						// cur.parent and A's state just before that call,
+						// starting from q, is p = below.f[q]; the
+						// hierarchical state A pushed there is δ^h_c(p) and
+						// A's state just before the return is cur.f[p].
+						callSym := syms[cur.parent]
+						for q := 0; q < n; q++ {
+							p := below.f[q]
+							_, h := d.StepCall(p, callSym)
+							g[q] = d.StepReturn(cur.f[p], h, sym)
+						}
+						returnT[key] = intern(buState{f: g, parent: below.parent})
+					}
+				}
+			}
+		}
+		if len(states) == before {
+			break
+		}
+	}
+
+	b := NewDNWABuilder(d.alpha, len(states))
+	b.SetStart(start)
+	for id, st := range states {
+		if d.IsAccepting(st.f[d.start]) {
+			b.SetAccept(id)
+		}
+	}
+	for k, v := range internalT {
+		b.Internal(k.from, syms[k.sym], v)
+	}
+	for k, v := range callT {
+		b.Call(k.from, syms[k.sym], v.Linear, v.Hier)
+	}
+	for k, v := range returnT {
+		b.Return(k.lin, k.hier, syms[k.sym], v)
+	}
+	return b.Build()
+}
+
+// BottomUpStateBound returns the state bound s^s·|Σ| of Theorem 4 for an
+// automaton with s states over an alphabet of the given size; it is reported
+// alongside the measured reachable-state counts in experiment E5.
+func BottomUpStateBound(s, sigma int) float64 {
+	bound := float64(sigma)
+	for i := 0; i < s; i++ {
+		bound *= float64(s)
+	}
+	return bound
+}

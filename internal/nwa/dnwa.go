@@ -1,0 +1,421 @@
+// Package nwa implements nested word automata (NWAs), the primary
+// contribution of "Marrying Words and Trees" (Alur, PODS 2007), Section 3.
+//
+// The package provides:
+//
+//   - deterministic NWAs (type DNWA) with linear-time membership,
+//   - nondeterministic NWAs (type NNWA) with polynomial membership,
+//     determinization, emptiness, inclusion and equivalence,
+//   - boolean and word/tree closure constructions,
+//   - the restricted classes studied in the paper: weak automata
+//     (Theorem 1), flat automata (Theorem 2), bottom-up automata
+//     (Theorem 4), and joinless / top-down automata (Theorems 6–8),
+//     together with the conversion constructions of those theorems.
+//
+// States are dense integers 0..NumStates-1.  Transition functions are kept
+// in maps keyed by (state, symbol) — or (state, state, symbol) for return
+// transitions — with an implicit absorbing dead state completing partial
+// automata, so that very large constructed automata (for example the
+// s^s-state bottom-up automata of Theorem 4) only pay for the transitions
+// they actually define.
+package nwa
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+	"repro/internal/nestedword"
+)
+
+// callKey / internalKey index call and internal transitions; returnKey
+// indexes return transitions by (linear state, hierarchical state, symbol).
+type callKey struct {
+	state int
+	sym   int
+}
+
+type returnKey struct {
+	lin  int
+	hier int
+	sym  int
+}
+
+// callTarget is the pair (linear successor, hierarchical successor) produced
+// by a call transition.
+type callTarget struct {
+	Linear int
+	Hier   int
+}
+
+// DNWA is a deterministic nested word automaton
+// (Q, q0, F, δc, δi, δr) as in Section 3.1.  The automaton is complete:
+// transitions not present in the maps go to the dead state, a non-accepting
+// absorbing state included in NumStates.
+type DNWA struct {
+	alpha   *alphabet.Alphabet
+	num     int // number of states, including the dead state
+	start   int
+	dead    int
+	accept  []bool
+	callT   map[callKey]callTarget
+	internT map[callKey]int
+	returnT map[returnKey]int
+}
+
+// DNWABuilder assembles a deterministic NWA.
+type DNWABuilder struct {
+	a *DNWA
+}
+
+// NewDNWABuilder creates a builder for a DNWA over the given alphabet with
+// numStates user states (a dead state is appended automatically).  The start
+// state defaults to 0.
+func NewDNWABuilder(alpha *alphabet.Alphabet, numStates int) *DNWABuilder {
+	d := &DNWA{
+		alpha:   alpha,
+		num:     numStates + 1,
+		start:   0,
+		dead:    numStates,
+		accept:  make([]bool, numStates+1),
+		callT:   make(map[callKey]callTarget),
+		internT: make(map[callKey]int),
+		returnT: make(map[returnKey]int),
+	}
+	return &DNWABuilder{a: d}
+}
+
+// SetStart sets the initial state q0.
+func (b *DNWABuilder) SetStart(q int) *DNWABuilder { b.a.start = q; return b }
+
+// SetAccept marks states as final.
+func (b *DNWABuilder) SetAccept(states ...int) *DNWABuilder {
+	for _, q := range states {
+		b.a.accept[q] = true
+	}
+	return b
+}
+
+// Call sets δc(from, sym) = (linear, hier).
+func (b *DNWABuilder) Call(from int, sym string, linear, hier int) *DNWABuilder {
+	b.a.checkState(from, linear, hier)
+	b.a.callT[callKey{from, b.a.alpha.MustIndex(sym)}] = callTarget{Linear: linear, Hier: hier}
+	return b
+}
+
+// Internal sets δi(from, sym) = to.
+func (b *DNWABuilder) Internal(from int, sym string, to int) *DNWABuilder {
+	b.a.checkState(from, to)
+	b.a.internT[callKey{from, b.a.alpha.MustIndex(sym)}] = to
+	return b
+}
+
+// Return sets δr(lin, hier, sym) = to.
+func (b *DNWABuilder) Return(lin, hier int, sym string, to int) *DNWABuilder {
+	b.a.checkState(lin, hier, to)
+	b.a.returnT[returnKey{lin, hier, b.a.alpha.MustIndex(sym)}] = to
+	return b
+}
+
+// Build returns the completed automaton.
+func (b *DNWABuilder) Build() *DNWA { return b.a }
+
+func (d *DNWA) checkState(states ...int) {
+	for _, q := range states {
+		if q < 0 || q >= d.num {
+			panic(fmt.Sprintf("nwa: state %d out of range [0,%d)", q, d.num))
+		}
+	}
+}
+
+// Alphabet returns the automaton's alphabet.
+func (d *DNWA) Alphabet() *alphabet.Alphabet { return d.alpha }
+
+// NumStates returns the number of states including the dead state.
+func (d *DNWA) NumStates() int { return d.num }
+
+// Start returns the initial state q0.
+func (d *DNWA) Start() int { return d.start }
+
+// Dead returns the absorbing dead state.
+func (d *DNWA) Dead() int { return d.dead }
+
+// IsAccepting reports whether q ∈ F.
+func (d *DNWA) IsAccepting(q int) bool { return q >= 0 && q < d.num && d.accept[q] }
+
+// AcceptingStates returns the sorted list of final states.
+func (d *DNWA) AcceptingStates() []int {
+	var out []int
+	for q, a := range d.accept {
+		if a {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// StepCall returns δc(q, sym) = (linear, hier); unknown symbols and missing
+// transitions go to the dead state.
+func (d *DNWA) StepCall(q int, sym string) (linear, hier int) {
+	s, ok := d.alpha.Index(sym)
+	if !ok {
+		return d.dead, d.dead
+	}
+	if t, ok := d.callT[callKey{q, s}]; ok {
+		return t.Linear, t.Hier
+	}
+	return d.dead, d.dead
+}
+
+// StepInternal returns δi(q, sym).
+func (d *DNWA) StepInternal(q int, sym string) int {
+	s, ok := d.alpha.Index(sym)
+	if !ok {
+		return d.dead
+	}
+	if t, ok := d.internT[callKey{q, s}]; ok {
+		return t
+	}
+	return d.dead
+}
+
+// StepReturn returns δr(lin, hier, sym).
+func (d *DNWA) StepReturn(lin, hier int, sym string) int {
+	s, ok := d.alpha.Index(sym)
+	if !ok {
+		return d.dead
+	}
+	if t, ok := d.returnT[returnKey{lin, hier, s}]; ok {
+		return t
+	}
+	return d.dead
+}
+
+// Run is the unique run of the automaton over the nested word: the sequence
+// of linear states q0, q1, ..., qℓ (Section 3.1).  The hierarchical states
+// are available via RunWithHierarchy.
+func (d *DNWA) Run(n *nestedword.NestedWord) []int {
+	states, _ := d.RunWithHierarchy(n)
+	return states
+}
+
+// RunWithHierarchy returns the linear state sequence of the unique run and,
+// for each position, the hierarchical state labelling its incoming or
+// outgoing hierarchical edge (-1 for internals).  For a call position the
+// entry is the state propagated along the outgoing hierarchical edge; for a
+// return position it is the state on the incoming hierarchical edge (q0 for
+// pending returns).
+func (d *DNWA) RunWithHierarchy(n *nestedword.NestedWord) (linear []int, hier []int) {
+	l := n.Len()
+	linear = make([]int, l+1)
+	hier = make([]int, l)
+	linear[0] = d.start
+	// stack holds the states labelling the currently pending hierarchical
+	// edges; its height is bounded by the depth of the word.
+	var stack []int
+	for i := 0; i < l; i++ {
+		p := n.At(i)
+		q := linear[i]
+		switch p.Kind {
+		case nestedword.Internal:
+			linear[i+1] = d.StepInternal(q, p.Symbol)
+			hier[i] = -1
+		case nestedword.Call:
+			lin, h := d.StepCall(q, p.Symbol)
+			linear[i+1] = lin
+			hier[i] = h
+			stack = append(stack, h)
+		case nestedword.Return:
+			var h int
+			if len(stack) == 0 {
+				// Pending return: the hierarchical edge comes from −∞ and is
+				// labelled with the initial state (Section 3.1).
+				h = d.start
+			} else {
+				h = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			}
+			hier[i] = h
+			linear[i+1] = d.StepReturn(q, h, p.Symbol)
+		}
+	}
+	return linear, hier
+}
+
+// Accepts reports whether the automaton accepts the nested word: the last
+// linear state of the unique run is final.  Time is linear in the length of
+// the word and space is proportional to its depth.
+func (d *DNWA) Accepts(n *nestedword.NestedWord) bool {
+	l := n.Len()
+	q := d.start
+	var stack []int
+	for i := 0; i < l; i++ {
+		p := n.At(i)
+		switch p.Kind {
+		case nestedword.Internal:
+			q = d.StepInternal(q, p.Symbol)
+		case nestedword.Call:
+			lin, h := d.StepCall(q, p.Symbol)
+			stack = append(stack, h)
+			q = lin
+		case nestedword.Return:
+			h := d.start
+			if len(stack) > 0 {
+				h = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			}
+			q = d.StepReturn(q, h, p.Symbol)
+		}
+	}
+	return d.accept[q]
+}
+
+// CallTransitions returns a copy of the call-transition map in an
+// iteration-friendly form: for each defined (state, symbol) the pair of
+// targets.  It is used by conversion constructions in this package and by
+// the treeauto embeddings.
+func (d *DNWA) CallTransitions() map[callKey]callTarget {
+	out := make(map[callKey]callTarget, len(d.callT))
+	for k, v := range d.callT {
+		out[k] = v
+	}
+	return out
+}
+
+// ToNondeterministic converts the deterministic automaton to an equivalent
+// nondeterministic one.
+func (d *DNWA) ToNondeterministic() *NNWA {
+	n := NewNNWA(d.alpha, d.num)
+	n.AddStart(d.start)
+	for q := 0; q < d.num; q++ {
+		if d.accept[q] {
+			n.AddAccept(q)
+		}
+	}
+	for s := 0; s < d.alpha.Size(); s++ {
+		sym := d.alpha.Symbol(s)
+		for q := 0; q < d.num; q++ {
+			lin, hier := d.StepCall(q, sym)
+			n.AddCall(q, sym, lin, hier)
+			n.AddInternal(q, sym, d.StepInternal(q, sym))
+		}
+		for lin := 0; lin < d.num; lin++ {
+			for hier := 0; hier < d.num; hier++ {
+				n.AddReturn(lin, hier, sym, d.StepReturn(lin, hier, sym))
+			}
+		}
+	}
+	return n
+}
+
+// Complement returns a deterministic NWA accepting the complement language
+// NW(Σ) \ L(d): deterministic automata are complemented by flipping the
+// final states (Section 3.2, closure under complementation).
+func (d *DNWA) Complement() *DNWA {
+	c := &DNWA{
+		alpha:   d.alpha,
+		num:     d.num,
+		start:   d.start,
+		dead:    d.dead,
+		accept:  make([]bool, d.num),
+		callT:   d.callT,
+		internT: d.internT,
+		returnT: d.returnT,
+	}
+	for q := 0; q < d.num; q++ {
+		c.accept[q] = !d.accept[q]
+	}
+	return c
+}
+
+// product builds the synchronous product of two deterministic NWAs over the
+// same alphabet, with acceptance combined by the given boolean function.
+func product(a, b *DNWA, combine func(bool, bool) bool) *DNWA {
+	if !a.alpha.Equal(b.alpha) {
+		panic("nwa: product of automata over different alphabets")
+	}
+	nb := b.num
+	pair := func(qa, qb int) int { return qa*nb + qb }
+	p := &DNWA{
+		alpha:   a.alpha,
+		num:     a.num * b.num,
+		start:   pair(a.start, b.start),
+		dead:    pair(a.dead, b.dead),
+		accept:  make([]bool, a.num*b.num),
+		callT:   make(map[callKey]callTarget),
+		internT: make(map[callKey]int),
+		returnT: make(map[returnKey]int),
+	}
+	for qa := 0; qa < a.num; qa++ {
+		for qb := 0; qb < b.num; qb++ {
+			p.accept[pair(qa, qb)] = combine(a.accept[qa], b.accept[qb])
+		}
+	}
+	for s := 0; s < a.alpha.Size(); s++ {
+		sym := a.alpha.Symbol(s)
+		for qa := 0; qa < a.num; qa++ {
+			for qb := 0; qb < b.num; qb++ {
+				q := pair(qa, qb)
+				la, ha := a.StepCall(qa, sym)
+				lb, hb := b.StepCall(qb, sym)
+				p.callT[callKey{q, s}] = callTarget{Linear: pair(la, lb), Hier: pair(ha, hb)}
+				p.internT[callKey{q, s}] = pair(a.StepInternal(qa, sym), b.StepInternal(qb, sym))
+			}
+		}
+		// Return transitions: only pairs of (linear, hierarchical) states
+		// that can actually co-occur are strictly needed, but enumerating
+		// all pairs keeps the construction simple and matches the textbook
+		// product.
+		for la := 0; la < a.num; la++ {
+			for lb := 0; lb < b.num; lb++ {
+				for ha := 0; ha < a.num; ha++ {
+					for hb := 0; hb < b.num; hb++ {
+						p.returnT[returnKey{pair(la, lb), pair(ha, hb), s}] =
+							pair(a.StepReturn(la, ha, sym), b.StepReturn(lb, hb, sym))
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Intersect returns a deterministic NWA for L(a) ∩ L(b).
+func Intersect(a, b *DNWA) *DNWA {
+	return product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a deterministic NWA for L(a) ∪ L(b).
+func Union(a, b *DNWA) *DNWA {
+	return product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a deterministic NWA for L(a) \ L(b).
+func Difference(a, b *DNWA) *DNWA {
+	return product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// IsEmpty reports whether L(d) = ∅ using the summary-based reachability
+// check described in Section 3.2 (cubic in the number of states).
+func (d *DNWA) IsEmpty() bool { return isEmpty(d) }
+
+// Equivalent reports whether two deterministic NWAs over the same alphabet
+// accept the same language.  The two symmetric differences are explored as
+// virtual products, so only reachable product states are visited.
+func Equivalent(a, b *DNWA) bool { return Subset(a, b) && Subset(b, a) }
+
+// Subset reports whether L(a) ⊆ L(b).
+func Subset(a, b *DNWA) bool {
+	if !a.alpha.Equal(b.alpha) {
+		panic("nwa: inclusion check over different alphabets")
+	}
+	return isEmpty(&differenceAutom{a: a, b: b})
+}
+
+// Counterexample returns a nested word in L(a) \ L(b), or ok=false when
+// L(a) ⊆ L(b).
+func Counterexample(a, b *DNWA) (*nestedword.NestedWord, bool) {
+	if !a.alpha.Equal(b.alpha) {
+		panic("nwa: inclusion check over different alphabets")
+	}
+	return findAccepted(&differenceAutom{a: a, b: b})
+}

@@ -1,0 +1,357 @@
+package nwa
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/nestedword"
+)
+
+// autom is the nondeterministic view of a nested word automaton shared by
+// the analysis algorithms (emptiness, witness generation, inclusion).  Both
+// DNWA and NNWA implement it, as do the virtual product automata used for
+// language inclusion so that products never have to be materialized.
+type autom interface {
+	Alphabet() *alphabet.Alphabet
+	NumStates() int
+	StartStates() []int
+	IsAccepting(q int) bool
+	CallSuccessors(q int, sym string) []callTarget
+	InternalSuccessors(q int, sym string) []int
+	ReturnSuccessors(lin, hier int, sym string) []int
+}
+
+// The emptiness check follows Section 3.2: it computes summaries of runs
+// over well-matched nested words (pairs (c, q) such that some well-matched
+// word takes context state c to q), then closes the set of reachable states
+// under summaries, pending-return steps, and pending-call steps, exploiting
+// the fact that in any nested word all pending returns precede all pending
+// calls.  Contexts are created lazily, so only the reachable part of the
+// automaton is ever touched; the worst case is cubic in the number of
+// states, matching the bound stated in the paper.
+//
+// Every derived fact records how it was derived so that a witness nested
+// word can be reconstructed when the language is non-empty.
+
+type summaryReason struct {
+	kind    string // "base", "internal", "callreturn"
+	prev    statePair
+	sym     string
+	callSym string
+	inner   statePair
+	retSym  string
+}
+
+type reachReason struct {
+	kind string // "start", "phaseA", "summary", "pendingreturn", "pendingcall"
+	prev int
+	pair statePair
+	sym  string
+}
+
+// callEdgeInfo records that the summary outer exists and that a call
+// transition on callSym from outer.to has hierarchical target hier; the map
+// key under which the edge is stored is the call's linear target (the inner
+// context).
+type callEdgeInfo struct {
+	outer   statePair
+	callSym string
+	hier    int
+}
+
+type workItem struct {
+	kind string // "summary", "reachA", "reachB"
+	pair statePair
+	q    int
+}
+
+type analysis struct {
+	a               autom
+	syms            []string
+	starts          []int
+	summaries       map[statePair]summaryReason
+	summariesByFrom map[int][]statePair
+	contexts        map[int]bool
+	callEdges       map[int][]callEdgeInfo
+	reachA          map[int]reachReason
+	reachB          map[int]reachReason
+	worklist        []workItem
+}
+
+func analyze(a autom) *analysis {
+	an := &analysis{
+		a:               a,
+		syms:            a.Alphabet().Symbols(),
+		starts:          a.StartStates(),
+		summaries:       make(map[statePair]summaryReason),
+		summariesByFrom: make(map[int][]statePair),
+		contexts:        make(map[int]bool),
+		callEdges:       make(map[int][]callEdgeInfo),
+		reachA:          make(map[int]reachReason),
+		reachB:          make(map[int]reachReason),
+	}
+	for _, q := range an.starts {
+		an.addReachA(q, reachReason{kind: "start"})
+	}
+	an.run()
+	return an
+}
+
+func (an *analysis) addSummary(p statePair, r summaryReason) {
+	if _, ok := an.summaries[p]; ok {
+		return
+	}
+	an.summaries[p] = r
+	an.summariesByFrom[p.from] = append(an.summariesByFrom[p.from], p)
+	an.worklist = append(an.worklist, workItem{kind: "summary", pair: p})
+	// Reach sets are closed under summaries from reachable contexts.
+	if _, ok := an.reachA[p.from]; ok {
+		an.addReachA(p.to, reachReason{kind: "summary", prev: p.from, pair: p})
+	}
+	if _, ok := an.reachB[p.from]; ok {
+		an.addReachB(p.to, reachReason{kind: "summary", prev: p.from, pair: p})
+	}
+}
+
+func (an *analysis) addContext(c int) {
+	if an.contexts[c] {
+		return
+	}
+	an.contexts[c] = true
+	an.addSummary(statePair{c, c}, summaryReason{kind: "base"})
+}
+
+func (an *analysis) addReachA(q int, r reachReason) {
+	if _, ok := an.reachA[q]; ok {
+		return
+	}
+	an.reachA[q] = r
+	an.addContext(q)
+	an.worklist = append(an.worklist, workItem{kind: "reachA", q: q})
+}
+
+func (an *analysis) addReachB(q int, r reachReason) {
+	if _, ok := an.reachB[q]; ok {
+		return
+	}
+	an.reachB[q] = r
+	an.addContext(q)
+	an.worklist = append(an.worklist, workItem{kind: "reachB", q: q})
+}
+
+func (an *analysis) run() {
+	for len(an.worklist) > 0 {
+		item := an.worklist[len(an.worklist)-1]
+		an.worklist = an.worklist[:len(an.worklist)-1]
+		switch item.kind {
+		case "summary":
+			an.processSummary(item.pair)
+		case "reachA":
+			an.processReachA(item.q)
+		case "reachB":
+			an.processReachB(item.q)
+		}
+	}
+}
+
+func (an *analysis) processSummary(p statePair) {
+	a := an.a
+	c, q := p.from, p.to
+
+	// Internal transitions extend summaries.
+	for _, sym := range an.syms {
+		for _, to := range a.InternalSuccessors(q, sym) {
+			an.addSummary(statePair{c, to}, summaryReason{kind: "internal", prev: p, sym: sym})
+		}
+	}
+
+	// A call transition from the end of the summary opens an inner context;
+	// combining with an inner summary and a return transition closes it.
+	for _, sym := range an.syms {
+		for _, t := range a.CallSuccessors(q, sym) {
+			an.addContext(t.Linear)
+			edge := callEdgeInfo{outer: p, callSym: sym, hier: t.Hier}
+			an.callEdges[t.Linear] = append(an.callEdges[t.Linear], edge)
+			for _, inner := range an.summariesByFrom[t.Linear] {
+				an.closeCallReturn(edge, inner)
+			}
+		}
+	}
+
+	// This summary may be the inner part of call edges targeting its
+	// context.
+	for _, edge := range an.callEdges[c] {
+		an.closeCallReturn(edge, p)
+	}
+}
+
+// closeCallReturn applies every return transition that closes the given call
+// edge around the given inner summary.
+func (an *analysis) closeCallReturn(edge callEdgeInfo, inner statePair) {
+	for _, retSym := range an.syms {
+		for _, to := range an.a.ReturnSuccessors(inner.to, edge.hier, retSym) {
+			an.addSummary(statePair{edge.outer.from, to}, summaryReason{
+				kind:    "callreturn",
+				prev:    edge.outer,
+				callSym: edge.callSym,
+				inner:   inner,
+				retSym:  retSym,
+			})
+		}
+	}
+}
+
+func (an *analysis) processReachA(q int) {
+	// Closure under summaries from q.
+	for _, p := range an.summariesByFrom[q] {
+		an.addReachA(p.to, reachReason{kind: "summary", prev: q, pair: p})
+	}
+	// Pending returns: the hierarchical edge is labelled with an initial
+	// state.
+	for _, sym := range an.syms {
+		for _, q0 := range an.starts {
+			for _, to := range an.a.ReturnSuccessors(q, q0, sym) {
+				an.addReachA(to, reachReason{kind: "pendingreturn", prev: q, sym: sym})
+			}
+		}
+	}
+	// Everything reachable in phase A is reachable in phase B.
+	an.addReachB(q, reachReason{kind: "phaseA", prev: q})
+}
+
+func (an *analysis) processReachB(q int) {
+	for _, p := range an.summariesByFrom[q] {
+		an.addReachB(p.to, reachReason{kind: "summary", prev: q, pair: p})
+	}
+	// Pending calls: only the linear successor matters.
+	for _, sym := range an.syms {
+		for _, t := range an.a.CallSuccessors(q, sym) {
+			an.addReachB(t.Linear, reachReason{kind: "pendingcall", prev: q, sym: sym})
+		}
+	}
+}
+
+// witnessSummary reconstructs a well-matched nested word realizing the
+// summary pair p.
+func (an *analysis) witnessSummary(p statePair) *nestedword.NestedWord {
+	r := an.summaries[p]
+	switch r.kind {
+	case "internal":
+		return nestedword.Concat(an.witnessSummary(r.prev), nestedword.FromWord(r.sym))
+	case "callreturn":
+		outer := an.witnessSummary(r.prev)
+		inner := an.witnessSummary(r.inner)
+		call := nestedword.New(nestedword.Position{Symbol: r.callSym, Kind: nestedword.Call})
+		ret := nestedword.New(nestedword.Position{Symbol: r.retSym, Kind: nestedword.Return})
+		return nestedword.Concat(outer, call, inner, ret)
+	default: // "base"
+		return nestedword.Empty()
+	}
+}
+
+// witnessReach reconstructs a nested word that takes the automaton from an
+// initial state to q, following the phase A / phase B derivations.
+func (an *analysis) witnessReach(q int, phaseB bool) *nestedword.NestedWord {
+	var r reachReason
+	if phaseB {
+		r = an.reachB[q]
+	} else {
+		r = an.reachA[q]
+	}
+	switch r.kind {
+	case "start":
+		return nestedword.Empty()
+	case "phaseA":
+		return an.witnessReach(r.prev, false)
+	case "summary":
+		return nestedword.Concat(an.witnessReach(r.prev, phaseB), an.witnessSummary(r.pair))
+	case "pendingreturn":
+		return nestedword.Concat(an.witnessReach(r.prev, phaseB),
+			nestedword.New(nestedword.Position{Symbol: r.sym, Kind: nestedword.Return}))
+	case "pendingcall":
+		return nestedword.Concat(an.witnessReach(r.prev, phaseB),
+			nestedword.New(nestedword.Position{Symbol: r.sym, Kind: nestedword.Call}))
+	default:
+		return nestedword.Empty()
+	}
+}
+
+// findAccepted returns some nested word accepted by the automaton, or
+// ok=false when the language is empty.
+func findAccepted(a autom) (*nestedword.NestedWord, bool) {
+	an := analyze(a)
+	for q := range an.reachB {
+		if a.IsAccepting(q) {
+			return an.witnessReach(q, true), true
+		}
+	}
+	return nil, false
+}
+
+// isEmpty reports whether the automaton accepts no nested word.
+func isEmpty(a autom) bool {
+	_, ok := findAccepted(a)
+	return !ok
+}
+
+// IsEmpty reports whether L(n) = ∅.
+func (n *NNWA) IsEmpty() bool { return isEmpty(n) }
+
+// SomeWord returns a nested word accepted by the automaton, or ok=false when
+// the language is empty.
+func (n *NNWA) SomeWord() (*nestedword.NestedWord, bool) { return findAccepted(n) }
+
+// SomeWord returns a nested word accepted by the automaton, or ok=false when
+// the language is empty.
+func (d *DNWA) SomeWord() (*nestedword.NestedWord, bool) { return findAccepted(d) }
+
+// StartStates returns the singleton initial-state set of the deterministic
+// automaton, satisfying the autom interface.
+func (d *DNWA) StartStates() []int { return []int{d.start} }
+
+// CallSuccessors returns the single call successor pair as a slice.
+func (d *DNWA) CallSuccessors(q int, sym string) []callTarget {
+	lin, hier := d.StepCall(q, sym)
+	return []callTarget{{Linear: lin, Hier: hier}}
+}
+
+// InternalSuccessors returns the single internal successor as a slice.
+func (d *DNWA) InternalSuccessors(q int, sym string) []int {
+	return []int{d.StepInternal(q, sym)}
+}
+
+// ReturnSuccessors returns the single return successor as a slice.
+func (d *DNWA) ReturnSuccessors(lin, hier int, sym string) []int {
+	return []int{d.StepReturn(lin, hier, sym)}
+}
+
+// differenceAutom is the virtual product automaton for L(a) \ L(b) of two
+// deterministic automata; it implements autom without materializing the
+// product, so inclusion and equivalence checks only explore reachable
+// product states.
+type differenceAutom struct {
+	a, b *DNWA
+}
+
+func (d *differenceAutom) Alphabet() *alphabet.Alphabet { return d.a.alpha }
+func (d *differenceAutom) NumStates() int               { return d.a.num * d.b.num }
+func (d *differenceAutom) StartStates() []int {
+	return []int{d.a.start*d.b.num + d.b.start}
+}
+func (d *differenceAutom) IsAccepting(q int) bool {
+	qa, qb := q/d.b.num, q%d.b.num
+	return d.a.IsAccepting(qa) && !d.b.IsAccepting(qb)
+}
+func (d *differenceAutom) CallSuccessors(q int, sym string) []callTarget {
+	qa, qb := q/d.b.num, q%d.b.num
+	la, ha := d.a.StepCall(qa, sym)
+	lb, hb := d.b.StepCall(qb, sym)
+	return []callTarget{{Linear: la*d.b.num + lb, Hier: ha*d.b.num + hb}}
+}
+func (d *differenceAutom) InternalSuccessors(q int, sym string) []int {
+	qa, qb := q/d.b.num, q%d.b.num
+	return []int{d.a.StepInternal(qa, sym)*d.b.num + d.b.StepInternal(qb, sym)}
+}
+func (d *differenceAutom) ReturnSuccessors(lin, hier int, sym string) []int {
+	la, lb := lin/d.b.num, lin%d.b.num
+	ha, hb := hier/d.b.num, hier%d.b.num
+	return []int{d.a.StepReturn(la, ha, sym)*d.b.num + d.b.StepReturn(lb, hb, sym)}
+}

@@ -1,0 +1,120 @@
+package nwa
+
+import (
+	"math/rand"
+
+	"repro/internal/alphabet"
+	"repro/internal/nestedword"
+)
+
+// Test helpers shared by the nwa package tests: random automata and random
+// nested words.
+
+var testAlpha = alphabet.New("a", "b")
+
+// randomDNWA builds a random complete deterministic NWA with n user states
+// over {a, b}.
+func randomDNWA(rng *rand.Rand, n int) *DNWA {
+	b := NewDNWABuilder(testAlpha, n)
+	b.SetStart(rng.Intn(n))
+	for q := 0; q < n; q++ {
+		if rng.Intn(2) == 0 {
+			b.SetAccept(q)
+		}
+		for _, sym := range testAlpha.Symbols() {
+			b.Internal(q, sym, rng.Intn(n))
+			b.Call(q, sym, rng.Intn(n), rng.Intn(n))
+		}
+	}
+	for lin := 0; lin < n; lin++ {
+		for hier := 0; hier < n; hier++ {
+			for _, sym := range testAlpha.Symbols() {
+				b.Return(lin, hier, sym, rng.Intn(n))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// randomNNWA builds a random nondeterministic NWA with n states over {a, b}.
+func randomNNWA(rng *rand.Rand, n int) *NNWA {
+	a := NewNNWA(testAlpha, n)
+	a.AddStart(rng.Intn(n))
+	if rng.Intn(2) == 0 {
+		a.AddStart(rng.Intn(n))
+	}
+	a.AddAccept(rng.Intn(n))
+	edges := 2 + rng.Intn(4*n)
+	for i := 0; i < edges; i++ {
+		sym := testAlpha.Symbol(rng.Intn(testAlpha.Size()))
+		switch rng.Intn(3) {
+		case 0:
+			a.AddInternal(rng.Intn(n), sym, rng.Intn(n))
+		case 1:
+			a.AddCall(rng.Intn(n), sym, rng.Intn(n), rng.Intn(n))
+		default:
+			a.AddReturn(rng.Intn(n), rng.Intn(n), sym, rng.Intn(n))
+		}
+	}
+	return a
+}
+
+// randomNestedWord builds a random nested word of length up to maxLen over
+// {a, b}, with arbitrary (possibly pending) structure.
+func randomNestedWord(rng *rand.Rand, maxLen int) *nestedword.NestedWord {
+	l := rng.Intn(maxLen + 1)
+	kinds := []nestedword.Kind{nestedword.Internal, nestedword.Call, nestedword.Return}
+	ps := make([]nestedword.Position, l)
+	for i := range ps {
+		ps[i] = nestedword.Position{
+			Symbol: testAlpha.Symbol(rng.Intn(testAlpha.Size())),
+			Kind:   kinds[rng.Intn(len(kinds))],
+		}
+	}
+	return nestedword.New(ps...)
+}
+
+// randomWellMatched builds a random well-matched nested word with roughly
+// the given number of positions over {a, b}.
+func randomWellMatched(rng *rand.Rand, size int) *nestedword.NestedWord {
+	var build func(budget int) []nestedword.Position
+	build = func(budget int) []nestedword.Position {
+		var ps []nestedword.Position
+		for budget > 0 {
+			sym := testAlpha.Symbol(rng.Intn(testAlpha.Size()))
+			if budget >= 2 && rng.Intn(3) == 0 {
+				inner := build(rng.Intn(budget - 1))
+				ps = append(ps, nestedword.Position{Symbol: sym, Kind: nestedword.Call})
+				ps = append(ps, inner...)
+				retSym := testAlpha.Symbol(rng.Intn(testAlpha.Size()))
+				ps = append(ps, nestedword.Position{Symbol: retSym, Kind: nestedword.Return})
+				budget -= 2 + len(inner)
+			} else {
+				ps = append(ps, nestedword.Position{Symbol: sym, Kind: nestedword.Internal})
+				budget--
+			}
+		}
+		return ps
+	}
+	return nestedword.New(build(size)...)
+}
+
+// randomNoPendingCalls builds a random nested word with no pending calls
+// (pending returns are allowed): a sequence of pending returns and
+// well-matched segments.
+func randomNoPendingCalls(rng *rand.Rand, size int) *nestedword.NestedWord {
+	var parts []*nestedword.NestedWord
+	budget := size
+	for budget > 0 {
+		if rng.Intn(4) == 0 {
+			sym := testAlpha.Symbol(rng.Intn(testAlpha.Size()))
+			parts = append(parts, nestedword.New(nestedword.Position{Symbol: sym, Kind: nestedword.Return}))
+			budget--
+		} else {
+			chunk := 1 + rng.Intn(budget)
+			parts = append(parts, randomWellMatched(rng, chunk))
+			budget -= chunk
+		}
+	}
+	return nestedword.Concat(parts...)
+}

@@ -1,0 +1,310 @@
+package nwa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+	"repro/internal/nestedword"
+)
+
+// naiveAccepts is an exponential reference implementation of NNWA
+// membership: it enumerates all runs explicitly, keeping the stack of
+// hierarchical states.  Only usable on small words and automata; the tests
+// use it to cross-validate the polynomial simulation.
+func naiveAccepts(a *NNWA, n *nestedword.NestedWord) bool {
+	var rec func(pos int, state int, stack []int) bool
+	rec = func(pos int, state int, stack []int) bool {
+		if pos == n.Len() {
+			return a.IsAccepting(state)
+		}
+		p := n.At(pos)
+		switch p.Kind {
+		case nestedword.Internal:
+			for _, to := range a.InternalSuccessors(state, p.Symbol) {
+				if rec(pos+1, to, stack) {
+					return true
+				}
+			}
+		case nestedword.Call:
+			for _, t := range a.CallSuccessors(state, p.Symbol) {
+				if rec(pos+1, t.Linear, append(append([]int(nil), stack...), t.Hier)) {
+					return true
+				}
+			}
+		case nestedword.Return:
+			if len(stack) == 0 {
+				for _, q0 := range a.StartStates() {
+					for _, to := range a.ReturnSuccessors(state, q0, p.Symbol) {
+						if rec(pos+1, to, stack) {
+							return true
+						}
+					}
+				}
+			} else {
+				hier := stack[len(stack)-1]
+				rest := stack[:len(stack)-1]
+				for _, to := range a.ReturnSuccessors(state, hier, p.Symbol) {
+					if rec(pos+1, to, rest) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, q0 := range a.StartStates() {
+		if rec(0, q0, nil) {
+			return true
+		}
+	}
+	return false
+}
+
+// someCallSomeReturnMismatch builds a nondeterministic NWA accepting the
+// nested words that contain at least one matched call/return pair with
+// different symbols.
+func someCallSomeReturnMismatch() *NNWA {
+	// States: 0 = searching, 1 = inside the guessed pair, 2 = found
+	// (accepting, absorbing), 3 = marker pushed at a guessed a-call,
+	// 4 = marker pushed at a guessed b-call.
+	a := NewNNWA(testAlpha, 5)
+	a.AddStart(0)
+	a.AddAccept(2)
+	for _, sym := range []string{"a", "b"} {
+		// Searching: skip anything.
+		a.AddInternal(0, sym, 0)
+		a.AddCall(0, sym, 0, 0)
+		for hier := 0; hier < 5; hier++ {
+			a.AddReturn(0, hier, sym, 0)
+		}
+		// Inside the guessed pair we stay in state 1 and skip structure,
+		// taking care to pop nested pairs back into state 1.
+		a.AddInternal(1, sym, 1)
+		a.AddCall(1, sym, 1, 1)
+		for hier := 0; hier < 5; hier++ {
+			a.AddReturn(1, hier, sym, 1)
+		}
+		// Found: absorb.
+		a.AddInternal(2, sym, 2)
+		a.AddCall(2, sym, 2, 2)
+		for hier := 0; hier < 5; hier++ {
+			a.AddReturn(2, hier, sym, 2)
+		}
+	}
+	// Guess an a-labelled call whose matching return is b-labelled.
+	a.AddCall(0, "a", 1, 3)
+	a.AddReturn(1, 3, "b", 2)
+	// Guess a b-labelled call whose matching return is a-labelled.
+	a.AddCall(0, "b", 1, 4)
+	a.AddReturn(1, 4, "a", 2)
+	return a
+}
+
+func mismatchPredicate(n *nestedword.NestedWord) bool {
+	for i := 0; i < n.Len(); i++ {
+		if n.KindAt(i) == nestedword.Call {
+			if j, _ := n.ReturnSuccessor(i); j != nestedword.Pending && n.SymbolAt(j) != n.SymbolAt(i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestNNWAMismatchGadget(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	cases := map[string]bool{
+		"":            false,
+		"<a a>":       false,
+		"<a b>":       true,
+		"<a <b a> a>": true,
+		"<a <b b> a>": false,
+		"a b a":       false,
+		"<a b":        false,
+		"b> <a b>":    true,
+	}
+	for in, want := range cases {
+		n := nestedword.MustParse(in)
+		if got := a.Accepts(n); got != want {
+			t.Errorf("Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestNNWAMismatchAgainstPredicate(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 300; i++ {
+		n := randomNestedWord(rng, 14)
+		if got, want := a.Accepts(n), mismatchPredicate(n); got != want {
+			t.Fatalf("Accepts(%v) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNNWASimulationAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		a := randomNNWA(rng, 1+rng.Intn(4))
+		for i := 0; i < 20; i++ {
+			n := randomNestedWord(rng, 8)
+			if got, want := a.Accepts(n), naiveAccepts(a, n); got != want {
+				t.Fatalf("trial %d: simulation=%v naive=%v on %v", trial, got, want, n)
+			}
+		}
+	}
+}
+
+func TestAcceptsWitness(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	n := nestedword.MustParse("<a b>")
+	q, ok := a.AcceptsWitness(n)
+	if !ok || !a.IsAccepting(q) {
+		t.Errorf("AcceptsWitness = (%d,%v), want an accepting state", q, ok)
+	}
+	if _, ok := a.AcceptsWitness(nestedword.MustParse("<a a>")); ok {
+		t.Errorf("AcceptsWitness should fail on rejected words")
+	}
+}
+
+func TestNNWAAddStateAndAccessors(t *testing.T) {
+	a := NewNNWA(testAlpha, 1)
+	q := a.AddState()
+	if q != 1 || a.NumStates() != 2 {
+		t.Errorf("AddState numbering broken")
+	}
+	a.AddStart(0).AddAccept(1)
+	if got := a.StartStates(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("StartStates = %v", got)
+	}
+	if got := a.AcceptingStates(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AcceptingStates = %v", got)
+	}
+	a.AddInternal(0, "a", 1)
+	a.AddInternal(0, "a", 1) // duplicates are collapsed
+	if got := a.InternalSuccessors(0, "a"); len(got) != 1 {
+		t.Errorf("duplicate transitions should be collapsed: %v", got)
+	}
+	if got := a.InternalSuccessors(0, "z"); got != nil {
+		t.Errorf("unknown symbols have no successors")
+	}
+	if got := a.CallSuccessors(0, "z"); got != nil {
+		t.Errorf("unknown symbols have no call successors")
+	}
+	if got := a.ReturnSuccessors(0, 0, "z"); got != nil {
+		t.Errorf("unknown symbols have no return successors")
+	}
+	if a.Alphabet() != testAlpha {
+		t.Errorf("Alphabet accessor broken")
+	}
+}
+
+func TestNNWAEmptinessAndWitness(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	if a.IsEmpty() {
+		t.Fatalf("mismatch gadget is not empty")
+	}
+	w, ok := a.SomeWord()
+	if !ok || !a.Accepts(w) {
+		t.Errorf("SomeWord witness %v not accepted", w)
+	}
+	if !mismatchPredicate(w) {
+		t.Errorf("witness %v should contain a mismatching pair", w)
+	}
+
+	empty := NewNNWA(testAlpha, 2)
+	empty.AddStart(0)
+	empty.AddAccept(1)
+	empty.AddInternal(0, "a", 0)
+	if !empty.IsEmpty() {
+		t.Errorf("no path to the accepting state: language must be empty")
+	}
+}
+
+func TestQuickEmptinessAgreesWithSampling(t *testing.T) {
+	// If the analysis says the language is non-empty, the witness must be
+	// accepted; if it says empty, random sampling must not find any accepted
+	// word.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomNNWA(rng, 1+rng.Intn(4))
+		if w, ok := a.SomeWord(); ok {
+			return a.Accepts(w)
+		}
+		for i := 0; i < 40; i++ {
+			if a.Accepts(randomNestedWord(rng, 10)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		a := randomNNWA(rng, 1+rng.Intn(4))
+		d := a.Determinize()
+		for i := 0; i < 30; i++ {
+			n := randomNestedWord(rng, 10)
+			if got, want := d.Accepts(n), a.Accepts(n); got != want {
+				t.Fatalf("trial %d: determinized=%v nondet=%v on %v", trial, got, want, n)
+			}
+		}
+	}
+}
+
+func TestDeterminizeMismatchGadget(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	d := a.Determinize()
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 300; i++ {
+		n := randomNestedWord(rng, 12)
+		if d.Accepts(n) != mismatchPredicate(n) {
+			t.Fatalf("determinized automaton wrong on %v", n)
+		}
+	}
+	if d.NumStates() > 1<<(4*4) {
+		t.Errorf("determinization exceeded the 2^(s²) bound: %d states", d.NumStates())
+	}
+}
+
+func TestComplementNNWA(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	c := a.Complement()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		n := randomNestedWord(rng, 10)
+		if a.Accepts(n) == c.Accepts(n) {
+			t.Fatalf("complement must disagree with the original on %v", n)
+		}
+	}
+}
+
+func TestUnionN(t *testing.T) {
+	a := someCallSomeReturnMismatch()
+	b := evenAs().ToNondeterministic()
+	u := UnionN(a, b)
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 200; i++ {
+		n := randomNestedWord(rng, 10)
+		if u.Accepts(n) != (a.Accepts(n) || b.Accepts(n)) {
+			t.Fatalf("UnionN wrong on %v", n)
+		}
+	}
+}
+
+func TestUnionNPanicsOnAlphabetMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("UnionN over different alphabets should panic")
+		}
+	}()
+	other := NewNNWA(alphabet.New("x"), 1)
+	UnionN(someCallSomeReturnMismatch(), other)
+}

@@ -1,0 +1,209 @@
+package treeauto
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/tree"
+)
+
+// BottomUpBinary is a deterministic bottom-up tree automaton over binary
+// trees in which either child may be absent (the shape produced by the
+// first-child/next-sibling encoding of unranked trees).  The absent child is
+// assigned the designated empty state; a node labelled a with child states
+// (l, r) gets the state δ(l, r, a).
+type BottomUpBinary struct {
+	alpha  *alphabet.Alphabet
+	num    int
+	empty  int
+	dead   int
+	accept []bool
+	// delta[(l*num+r)*|Σ|+a]
+	delta []int
+}
+
+// BottomUpBinaryBuilder assembles a BottomUpBinary automaton.
+type BottomUpBinaryBuilder struct {
+	a *BottomUpBinary
+}
+
+// NewBottomUpBinaryBuilder creates a builder with numStates user states plus
+// a designated empty state (index numStates) and a dead state (index
+// numStates+1); unspecified transitions lead to the dead state.
+func NewBottomUpBinaryBuilder(alpha *alphabet.Alphabet, numStates int) *BottomUpBinaryBuilder {
+	n := numStates + 2
+	a := &BottomUpBinary{
+		alpha:  alpha,
+		num:    n,
+		empty:  numStates,
+		dead:   numStates + 1,
+		accept: make([]bool, n),
+		delta:  make([]int, n*n*alpha.Size()),
+	}
+	for i := range a.delta {
+		a.delta[i] = a.dead
+	}
+	return &BottomUpBinaryBuilder{a: a}
+}
+
+// Empty returns the state assigned to absent children.
+func (b *BottomUpBinaryBuilder) Empty() int { return b.a.empty }
+
+// Transition sets δ(left, right, sym) = to.
+func (b *BottomUpBinaryBuilder) Transition(left, right int, sym string, to int) *BottomUpBinaryBuilder {
+	b.a.delta[(left*b.a.num+right)*b.a.alpha.Size()+b.a.alpha.MustIndex(sym)] = to
+	return b
+}
+
+// Leaf sets the state of sym-labelled leaves: δ(empty, empty, sym) = to.
+func (b *BottomUpBinaryBuilder) Leaf(sym string, to int) *BottomUpBinaryBuilder {
+	return b.Transition(b.a.empty, b.a.empty, sym, to)
+}
+
+// Accept marks states as final.
+func (b *BottomUpBinaryBuilder) Accept(states ...int) *BottomUpBinaryBuilder {
+	for _, q := range states {
+		b.a.accept[q] = true
+	}
+	return b
+}
+
+// Build returns the completed automaton.
+func (b *BottomUpBinaryBuilder) Build() *BottomUpBinary { return b.a }
+
+// NumStates returns the number of states (including empty and dead).
+func (a *BottomUpBinary) NumStates() int { return a.num }
+
+// EmptyState returns the state of absent children.
+func (a *BottomUpBinary) EmptyState() int { return a.empty }
+
+// IsAccepting reports whether q is final.
+func (a *BottomUpBinary) IsAccepting(q int) bool { return q >= 0 && q < a.num && a.accept[q] }
+
+// Eval returns the state of the root of the binary tree (the empty state for
+// the nil tree).
+func (a *BottomUpBinary) Eval(t *tree.BinaryNode) int {
+	if t == nil {
+		return a.empty
+	}
+	si, ok := a.alpha.Index(t.Label)
+	if !ok {
+		return a.dead
+	}
+	l := a.Eval(t.Left)
+	r := a.Eval(t.Right)
+	return a.delta[(l*a.num+r)*a.alpha.Size()+si]
+}
+
+// Accepts reports whether the automaton accepts the binary tree.
+func (a *BottomUpBinary) Accepts(t *tree.BinaryNode) bool { return a.accept[a.Eval(t)] }
+
+// AcceptsUnranked runs the automaton on the first-child/next-sibling
+// encoding of an unranked ordered tree.
+func (a *BottomUpBinary) AcceptsUnranked(t *tree.Tree) bool {
+	return a.Accepts(tree.FirstChildNextSibling(t))
+}
+
+// TopDownBinary is a nondeterministic top-down tree automaton over binary
+// trees: a set of initial states for the root, transitions
+// (q, a) → (ql, qr) splitting the state to the two children, and leaf
+// acceptance pairs (q, a).  The deterministic subclass has one initial state
+// and at most one transition per (q, a).
+type TopDownBinary struct {
+	alpha  *alphabet.Alphabet
+	num    int
+	starts map[int]bool
+	// trans[(q,a)] lists the (ql, qr) pairs.
+	trans map[[2]int][][2]int
+	// leaf[(q,a)] reports whether state q may accept an a-labelled leaf.
+	leaf map[[2]int]bool
+	// emptyOK[q] reports whether state q accepts an absent child.
+	emptyOK map[int]bool
+}
+
+// NewTopDownBinary creates an empty top-down automaton with numStates
+// states.
+func NewTopDownBinary(alpha *alphabet.Alphabet, numStates int) *TopDownBinary {
+	return &TopDownBinary{
+		alpha:   alpha,
+		num:     numStates,
+		starts:  make(map[int]bool),
+		trans:   make(map[[2]int][][2]int),
+		leaf:    make(map[[2]int]bool),
+		emptyOK: make(map[int]bool),
+	}
+}
+
+// NumStates returns the number of states.
+func (a *TopDownBinary) NumStates() int { return a.num }
+
+// AddStart marks states as initial (assigned to the root).
+func (a *TopDownBinary) AddStart(states ...int) *TopDownBinary {
+	for _, q := range states {
+		a.starts[q] = true
+	}
+	return a
+}
+
+// AddTransition adds (q, sym) → (left, right).
+func (a *TopDownBinary) AddTransition(q int, sym string, left, right int) *TopDownBinary {
+	k := [2]int{q, a.alpha.MustIndex(sym)}
+	a.trans[k] = append(a.trans[k], [2]int{left, right})
+	return a
+}
+
+// AddLeaf allows state q to accept a sym-labelled leaf.
+func (a *TopDownBinary) AddLeaf(q int, sym string) *TopDownBinary {
+	a.leaf[[2]int{q, a.alpha.MustIndex(sym)}] = true
+	return a
+}
+
+// AllowEmpty allows state q to accept an absent child.
+func (a *TopDownBinary) AllowEmpty(states ...int) *TopDownBinary {
+	for _, q := range states {
+		a.emptyOK[q] = true
+	}
+	return a
+}
+
+// IsDeterministic reports whether the automaton has one initial state and at
+// most one transition per (state, symbol).
+func (a *TopDownBinary) IsDeterministic() bool {
+	if len(a.starts) != 1 {
+		return false
+	}
+	for _, targets := range a.trans {
+		if len(targets) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// accepts reports whether state q accepts the binary tree t.
+func (a *TopDownBinary) acceptsFrom(q int, t *tree.BinaryNode) bool {
+	if t == nil {
+		return a.emptyOK[q]
+	}
+	si, ok := a.alpha.Index(t.Label)
+	if !ok {
+		return false
+	}
+	if t.Left == nil && t.Right == nil && a.leaf[[2]int{q, si}] {
+		return true
+	}
+	for _, lr := range a.trans[[2]int{q, si}] {
+		if a.acceptsFrom(lr[0], t.Left) && a.acceptsFrom(lr[1], t.Right) {
+			return true
+		}
+	}
+	return false
+}
+
+// Accepts reports whether some run of the automaton accepts the binary tree.
+func (a *TopDownBinary) Accepts(t *tree.BinaryNode) bool {
+	for q := range a.starts {
+		if a.acceptsFrom(q, t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package treeauto
+
+import (
+	"repro/internal/alphabet"
+	"repro/internal/nwa"
+	"repro/internal/word"
+)
+
+// Path languages (Section 3.6).  For a word language L ⊆ Σ*, path(L) is the
+// language of tree words path(w) = ⟨w1 ... ⟨wℓ wℓ⟩ ... w1⟩ for w ∈ L.  Over
+// unary trees the many flavours of tree automata collapse to two, and
+// Lemma 3 identifies them with word automata:
+//
+//   - a deterministic top-down tree automaton for path(L) with s states
+//     exists iff a deterministic word automaton for L with s states exists;
+//   - a deterministic bottom-up tree automaton for path(L) with s states
+//     exists iff a deterministic word automaton for the reverse language L^R
+//     with s states exists.
+//
+// Experiment E9 (Theorem 8) uses these correspondences to measure the
+// minimal deterministic top-down and bottom-up sizes of the path family
+// L_s = Σ^s a Σ* a Σ^s, which are both exponential while a (joinful) NWA
+// needs only O(s) states.
+
+// MinimalTopDownPathStates returns the number of states of the minimal
+// deterministic top-down tree automaton for path(L(dfa)) — by Lemma 3, the
+// size of the minimal DFA for L.
+func MinimalTopDownPathStates(dfa *word.DFA) int { return dfa.Minimize().NumStates() }
+
+// MinimalBottomUpPathStates returns the number of states of the minimal
+// deterministic bottom-up tree automaton for path(L(dfa)) — by Lemma 3, the
+// size of the minimal DFA for the reverse language.
+func MinimalBottomUpPathStates(dfa *word.DFA) int { return dfa.Reverse().Minimize().NumStates() }
+
+// TopDownPathJNWA builds a deterministic top-down nested word automaton (a
+// joinless automaton all of whose states are hierarchical, Section 3.5)
+// whose tree-word language is exactly { path(w) : w ∈ L(dfa) }.  It
+// witnesses the "only if" direction of Lemma 3: the DFA runs down the calls
+// of the path, the innermost state is accepting exactly when the DFA
+// accepts, and each hierarchical edge remembers the call symbol so that the
+// matching return is checked on the way out.
+//
+// As with the top-down tree automata of Lemma 2, the correspondence is about
+// tree words: on words that are not well matched (for example a bare pending
+// call) the automaton's verdict is unconstrained, because top-down automata
+// cannot detect that a call is never answered.
+//
+// The automaton has |dfa| + |Σ| + 1 states.
+func TopDownPathJNWA(dfa *word.DFA, alpha *alphabet.Alphabet) *nwa.JNWA {
+	sigma := alpha.Size()
+	n := dfa.NumStates()
+	run := func(q int) int { return q }        // DFA run down the calls
+	expect := func(a int) int { return n + a } // edge: the return must be a-labelled
+	done := n + sigma                          // all checks on this level passed
+	total := done + 1
+
+	j := nwa.NewJNWA(alpha, total)
+	for q := 0; q < total; q++ {
+		j.MarkHierarchical(q)
+	}
+	j.AddStart(run(dfa.Start()))
+	j.AddAccept(done)
+	for q := 0; q < n; q++ {
+		if dfa.IsAccepting(q) {
+			j.AddAccept(run(q))
+		}
+	}
+	for q := 0; q < n; q++ {
+		for a := 0; a < sigma; a++ {
+			sym := alpha.Symbol(a)
+			next, ok := dfa.Step(q, sym)
+			if !ok {
+				continue
+			}
+			// Reading an a-labelled call: the inner branch continues the DFA
+			// run; the hierarchical edge records that the matching return
+			// must be labelled a.
+			j.AddCall(run(q), sym, run(next), expect(a))
+		}
+	}
+	for a := 0; a < sigma; a++ {
+		// The edge state fires only on the recorded symbol; the joinless
+		// return rule additionally demands that the inner branch ended in an
+		// accepting state, which at the innermost level is the DFA
+		// acceptance check and at outer levels is the `done` state.
+		j.AddReturn(expect(a), alpha.Symbol(a), done)
+	}
+	return j
+}

@@ -1,0 +1,400 @@
+// Package word implements classical finite-state word automata: DFAs, NFAs
+// (with ε-transitions), subset-construction determinization, Hopcroft-style
+// minimization, boolean operations, reversal, and a small regular-expression
+// combinator library.
+//
+// The package is the "words" baseline of the paper "Marrying Words and
+// Trees" (Alur, PODS 2007).  Flat nested word automata are equivalent to
+// deterministic word automata over the tagged alphabet Σ̂ (Theorem 2), and
+// the succinctness experiments E4, E9, and E10 measure the size of *minimal*
+// DFAs produced by this package against nested word automata.
+package word
+
+import (
+	"fmt"
+
+	"repro/internal/alphabet"
+)
+
+// DFA is a complete deterministic finite word automaton.  States are dense
+// integers 0..NumStates-1 and the transition table is total: every state has
+// a successor on every alphabet symbol (builders add an explicit dead state
+// where needed).
+type DFA struct {
+	alpha  *alphabet.Alphabet
+	start  int
+	accept []bool
+	// delta[q][s] is the successor of state q on the symbol with index s.
+	delta [][]int
+}
+
+// DFABuilder incrementally assembles a DFA.  Unspecified transitions go to
+// an implicit dead (non-accepting, absorbing) state added by Build when
+// needed.
+type DFABuilder struct {
+	alpha     *alphabet.Alphabet
+	numStates int
+	start     int
+	accept    map[int]bool
+	delta     map[[2]int]int
+}
+
+// NewDFABuilder creates a builder for a DFA over the given alphabet with the
+// given number of states; the start state defaults to 0.
+func NewDFABuilder(alpha *alphabet.Alphabet, numStates int) *DFABuilder {
+	return &DFABuilder{
+		alpha:     alpha,
+		numStates: numStates,
+		accept:    make(map[int]bool),
+		delta:     make(map[[2]int]int),
+	}
+}
+
+// SetStart sets the start state.
+func (b *DFABuilder) SetStart(q int) *DFABuilder { b.start = q; return b }
+
+// SetAccept marks states as accepting.
+func (b *DFABuilder) SetAccept(states ...int) *DFABuilder {
+	for _, q := range states {
+		b.accept[q] = true
+	}
+	return b
+}
+
+// AddTransition adds δ(from, sym) = to.  It panics on unknown symbols or
+// out-of-range states, which indicate programming errors in automaton
+// construction code.
+func (b *DFABuilder) AddTransition(from int, sym string, to int) *DFABuilder {
+	s := b.alpha.MustIndex(sym)
+	if from < 0 || from >= b.numStates || to < 0 || to >= b.numStates {
+		panic(fmt.Sprintf("word: transition (%d,%q,%d) out of range [0,%d)", from, sym, to, b.numStates))
+	}
+	b.delta[[2]int{from, s}] = to
+	return b
+}
+
+// Build completes the DFA.  If any transition is missing, a fresh dead state
+// is appended and all missing transitions point to it.
+func (b *DFABuilder) Build() *DFA {
+	n := b.numStates
+	needDead := false
+	for q := 0; q < b.numStates && !needDead; q++ {
+		for s := 0; s < b.alpha.Size(); s++ {
+			if _, ok := b.delta[[2]int{q, s}]; !ok {
+				needDead = true
+				break
+			}
+		}
+	}
+	dead := -1
+	if needDead || n == 0 {
+		dead = n
+		n++
+	}
+	d := &DFA{
+		alpha:  b.alpha,
+		start:  b.start,
+		accept: make([]bool, n),
+		delta:  make([][]int, n),
+	}
+	if n == 1 && b.numStates == 0 {
+		d.start = dead
+	}
+	for q := 0; q < n; q++ {
+		d.delta[q] = make([]int, b.alpha.Size())
+		for s := 0; s < b.alpha.Size(); s++ {
+			if q == dead {
+				d.delta[q][s] = dead
+				continue
+			}
+			if to, ok := b.delta[[2]int{q, s}]; ok {
+				d.delta[q][s] = to
+			} else {
+				d.delta[q][s] = dead
+			}
+		}
+	}
+	for q := range b.accept {
+		if b.accept[q] && q < len(d.accept) {
+			d.accept[q] = true
+		}
+	}
+	return d
+}
+
+// Alphabet returns the automaton's alphabet.
+func (d *DFA) Alphabet() *alphabet.Alphabet { return d.alpha }
+
+// NumStates returns the number of states (including any dead state).
+func (d *DFA) NumStates() int { return len(d.delta) }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// IsAccepting reports whether state q is accepting.
+func (d *DFA) IsAccepting(q int) bool { return q >= 0 && q < len(d.accept) && d.accept[q] }
+
+// Step returns δ(q, sym).  Unknown symbols return (-1, false).
+func (d *DFA) Step(q int, sym string) (int, bool) {
+	s, ok := d.alpha.Index(sym)
+	if !ok || q < 0 || q >= len(d.delta) {
+		return -1, false
+	}
+	return d.delta[q][s], true
+}
+
+// Accepts reports whether the DFA accepts the given word.  Words containing
+// symbols outside the alphabet are rejected.
+func (d *DFA) Accepts(word []string) bool {
+	q := d.start
+	for _, sym := range word {
+		next, ok := d.Step(q, sym)
+		if !ok {
+			return false
+		}
+		q = next
+	}
+	return d.IsAccepting(q)
+}
+
+// IsEmpty reports whether L(d) = ∅, by reachability from the start state.
+func (d *DFA) IsEmpty() bool {
+	visited := make([]bool, d.NumStates())
+	stack := []int{d.start}
+	visited[d.start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.accept[q] {
+			return false
+		}
+		for _, next := range d.delta[q] {
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return true
+}
+
+// Complement returns a DFA accepting the complement language over the same
+// alphabet.
+func (d *DFA) Complement() *DFA {
+	accept := make([]bool, len(d.accept))
+	for i, a := range d.accept {
+		accept[i] = !a
+	}
+	return &DFA{alpha: d.alpha, start: d.start, accept: accept, delta: d.delta}
+}
+
+// binaryOp builds the product DFA combining acceptance with the given
+// boolean function.  Both automata must share the same alphabet.
+func binaryOp(a, b *DFA, combine func(bool, bool) bool) *DFA {
+	if !a.alpha.Equal(b.alpha) {
+		panic("word: product of DFAs over different alphabets")
+	}
+	na, nb := a.NumStates(), b.NumStates()
+	n := na * nb
+	d := &DFA{
+		alpha:  a.alpha,
+		start:  a.start*nb + b.start,
+		accept: make([]bool, n),
+		delta:  make([][]int, n),
+	}
+	for qa := 0; qa < na; qa++ {
+		for qb := 0; qb < nb; qb++ {
+			q := qa*nb + qb
+			d.accept[q] = combine(a.accept[qa], b.accept[qb])
+			row := make([]int, a.alpha.Size())
+			for s := 0; s < a.alpha.Size(); s++ {
+				row[s] = a.delta[qa][s]*nb + b.delta[qb][s]
+			}
+			d.delta[q] = row
+		}
+	}
+	return d
+}
+
+// Intersect returns a DFA for L(a) ∩ L(b).
+func Intersect(a, b *DFA) *DFA {
+	return binaryOp(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a DFA for L(a) ∪ L(b).
+func Union(a, b *DFA) *DFA {
+	return binaryOp(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a DFA for L(a) \ L(b).
+func Difference(a, b *DFA) *DFA {
+	return binaryOp(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// Equivalent reports whether two DFAs over the same alphabet accept the same
+// language (symmetric difference is empty).
+func Equivalent(a, b *DFA) bool {
+	return Difference(a, b).IsEmpty() && Difference(b, a).IsEmpty()
+}
+
+// Subset reports whether L(a) ⊆ L(b).
+func Subset(a, b *DFA) bool { return Difference(a, b).IsEmpty() }
+
+// Minimize returns the minimal complete DFA accepting the same language,
+// computed by removing unreachable states and then refining the
+// accepting/non-accepting partition to the Myhill–Nerode congruence
+// (Moore's algorithm).  The number of states of the result is the
+// right-congruence index used by the succinctness experiments.
+func (d *DFA) Minimize() *DFA {
+	// 1. Restrict to reachable states.
+	reach := make([]int, d.NumStates())
+	for i := range reach {
+		reach[i] = -1
+	}
+	order := []int{d.start}
+	reach[d.start] = 0
+	for i := 0; i < len(order); i++ {
+		q := order[i]
+		for _, next := range d.delta[q] {
+			if reach[next] == -1 {
+				reach[next] = len(order)
+				order = append(order, next)
+			}
+		}
+	}
+	n := len(order)
+	delta := make([][]int, n)
+	accept := make([]bool, n)
+	for newQ, oldQ := range order {
+		accept[newQ] = d.accept[oldQ]
+		row := make([]int, d.alpha.Size())
+		for s := 0; s < d.alpha.Size(); s++ {
+			row[s] = reach[d.delta[oldQ][s]]
+		}
+		delta[newQ] = row
+	}
+
+	// 2. Partition refinement.
+	part := make([]int, n)
+	for q := 0; q < n; q++ {
+		if accept[q] {
+			part[q] = 1
+		}
+	}
+	numBlocks := 2
+	if n > 0 {
+		allSame := true
+		for q := 1; q < n; q++ {
+			if accept[q] != accept[0] {
+				allSame = false
+				break
+			}
+		}
+		if allSame {
+			numBlocks = 1
+			for q := range part {
+				part[q] = 0
+			}
+		}
+	}
+	for {
+		// Signature of a state: its block plus the blocks of its successors.
+		type sig struct {
+			block int
+			succ  string
+		}
+		sigIndex := make(map[sig]int)
+		newPart := make([]int, n)
+		newBlocks := 0
+		for q := 0; q < n; q++ {
+			succ := make([]byte, 0, 4*d.alpha.Size())
+			for s := 0; s < d.alpha.Size(); s++ {
+				b := part[delta[q][s]]
+				succ = append(succ, byte(b), byte(b>>8), byte(b>>16), byte(b>>24))
+			}
+			k := sig{block: part[q], succ: string(succ)}
+			id, ok := sigIndex[k]
+			if !ok {
+				id = newBlocks
+				newBlocks++
+				sigIndex[k] = id
+			}
+			newPart[q] = id
+		}
+		if newBlocks == numBlocks {
+			part = newPart
+			break
+		}
+		part, numBlocks = newPart, newBlocks
+	}
+
+	// 3. Build the quotient automaton.
+	m := &DFA{
+		alpha:  d.alpha,
+		start:  part[0], // state 0 of the reachable restriction is the start
+		accept: make([]bool, numBlocks),
+		delta:  make([][]int, numBlocks),
+	}
+	for q := 0; q < n; q++ {
+		blk := part[q]
+		if m.delta[blk] == nil {
+			row := make([]int, d.alpha.Size())
+			for s := 0; s < d.alpha.Size(); s++ {
+				row[s] = part[delta[q][s]]
+			}
+			m.delta[blk] = row
+			m.accept[blk] = accept[q]
+		}
+	}
+	return m
+}
+
+// MinimalSize returns the number of states of the minimal DFA for L(d).
+func (d *DFA) MinimalSize() int { return d.Minimize().NumStates() }
+
+// ToNFA converts the DFA to an equivalent NFA.
+func (d *DFA) ToNFA() *NFA {
+	n := NewNFA(d.alpha, d.NumStates())
+	n.AddStart(d.start)
+	for q := 0; q < d.NumStates(); q++ {
+		if d.accept[q] {
+			n.AddAccept(q)
+		}
+		for s := 0; s < d.alpha.Size(); s++ {
+			n.AddTransition(q, d.alpha.Symbol(s), d.delta[q][s])
+		}
+	}
+	return n
+}
+
+// Reverse returns a DFA for the reversal language L(d)^R (via NFA reversal
+// and determinization).
+func (d *DFA) Reverse() *DFA { return d.ToNFA().Reverse().Determinize() }
+
+// SomeWord returns a shortest word accepted by the DFA, and ok=false when
+// the language is empty.
+func (d *DFA) SomeWord() ([]string, bool) {
+	type entry struct {
+		state int
+		word  []string
+	}
+	visited := make([]bool, d.NumStates())
+	queue := []entry{{state: d.start, word: nil}}
+	visited[d.start] = true
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if d.accept[e.state] {
+			return e.word, true
+		}
+		for s := 0; s < d.alpha.Size(); s++ {
+			next := d.delta[e.state][s]
+			if !visited[next] {
+				visited[next] = true
+				w := append(append([]string(nil), e.word...), d.alpha.Symbol(s))
+				queue = append(queue, entry{state: next, word: w})
+			}
+		}
+	}
+	return nil, false
+}

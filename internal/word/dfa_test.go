@@ -1,0 +1,343 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+)
+
+// evenAs builds a DFA over {a,b} accepting words with an even number of a's.
+func evenAs() *DFA {
+	alpha := alphabet.New("a", "b")
+	b := NewDFABuilder(alpha, 2)
+	b.SetStart(0).SetAccept(0)
+	b.AddTransition(0, "a", 1).AddTransition(0, "b", 0)
+	b.AddTransition(1, "a", 0).AddTransition(1, "b", 1)
+	return b.Build()
+}
+
+// endsWithAB builds a DFA over {a,b} accepting words ending in "ab".
+func endsWithAB() *DFA {
+	alpha := alphabet.New("a", "b")
+	b := NewDFABuilder(alpha, 3)
+	b.SetStart(0).SetAccept(2)
+	b.AddTransition(0, "a", 1).AddTransition(0, "b", 0)
+	b.AddTransition(1, "a", 1).AddTransition(1, "b", 2)
+	b.AddTransition(2, "a", 1).AddTransition(2, "b", 0)
+	return b.Build()
+}
+
+func w(s string) []string {
+	out := make([]string, 0, len(s))
+	for _, r := range s {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+func TestDFAAccepts(t *testing.T) {
+	d := evenAs()
+	cases := map[string]bool{"": true, "a": false, "aa": true, "ab": false, "bab": false, "abab": true, "bbbb": true}
+	for in, want := range cases {
+		if got := d.Accepts(w(in)); got != want {
+			t.Errorf("evenAs.Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if d.Accepts([]string{"z"}) {
+		t.Errorf("symbols outside the alphabet must be rejected")
+	}
+}
+
+func TestDFABuilderDeadState(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	b := NewDFABuilder(alpha, 2)
+	b.SetStart(0).SetAccept(1)
+	b.AddTransition(0, "a", 1)
+	d := b.Build()
+	// A dead state must have been added for the missing transitions.
+	if d.NumStates() != 3 {
+		t.Errorf("NumStates = %d, want 3 (2 + dead)", d.NumStates())
+	}
+	if !d.Accepts(w("a")) || d.Accepts(w("b")) || d.Accepts(w("ab")) {
+		t.Errorf("partial DFA completion broken")
+	}
+}
+
+func TestDFABuilderPanicsOnBadTransition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range transition should panic")
+		}
+	}()
+	NewDFABuilder(alphabet.New("a"), 1).AddTransition(0, "a", 5)
+}
+
+func TestDFAStepUnknownSymbol(t *testing.T) {
+	d := evenAs()
+	if _, ok := d.Step(0, "z"); ok {
+		t.Errorf("Step on unknown symbol should report ok=false")
+	}
+	if _, ok := d.Step(-1, "a"); ok {
+		t.Errorf("Step on invalid state should report ok=false")
+	}
+	if next, ok := d.Step(0, "a"); !ok || next != 1 {
+		t.Errorf("Step(0,a) = (%d,%v), want (1,true)", next, ok)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := evenAs()
+	c := d.Complement()
+	for _, in := range []string{"", "a", "aa", "aba", "bbb"} {
+		if d.Accepts(w(in)) == c.Accepts(w(in)) {
+			t.Errorf("complement should disagree with original on %q", in)
+		}
+	}
+}
+
+func TestBooleanOperations(t *testing.T) {
+	a, b := evenAs(), endsWithAB()
+	inter := Intersect(a, b)
+	union := Union(a, b)
+	diff := Difference(a, b)
+	for _, in := range []string{"", "ab", "aab", "aabab", "ba", "abab"} {
+		word := w(in)
+		ia, ib := a.Accepts(word), b.Accepts(word)
+		if inter.Accepts(word) != (ia && ib) {
+			t.Errorf("Intersect wrong on %q", in)
+		}
+		if union.Accepts(word) != (ia || ib) {
+			t.Errorf("Union wrong on %q", in)
+		}
+		if diff.Accepts(word) != (ia && !ib) {
+			t.Errorf("Difference wrong on %q", in)
+		}
+	}
+}
+
+func TestProductPanicsOnAlphabetMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("product over different alphabets should panic")
+		}
+	}()
+	other := NewDFABuilder(alphabet.New("x"), 1).Build()
+	Intersect(evenAs(), other)
+}
+
+func TestEquivalentAndSubset(t *testing.T) {
+	a := evenAs()
+	// A non-minimal automaton for the same language: four states counting
+	// a's mod 2 and b's mod 2, accepting when a-count is even.
+	alpha := alphabet.New("a", "b")
+	b := NewDFABuilder(alpha, 4)
+	// state = 2*(aMod) + bMod
+	b.SetStart(0).SetAccept(0, 1)
+	for aMod := 0; aMod < 2; aMod++ {
+		for bMod := 0; bMod < 2; bMod++ {
+			q := 2*aMod + bMod
+			b.AddTransition(q, "a", 2*((aMod+1)%2)+bMod)
+			b.AddTransition(q, "b", 2*aMod+(bMod+1)%2)
+		}
+	}
+	big := b.Build()
+	if !Equivalent(a, big) {
+		t.Errorf("evenAs and its 4-state variant should be equivalent")
+	}
+	if Equivalent(a, endsWithAB()) {
+		t.Errorf("different languages reported equivalent")
+	}
+	if !Subset(Intersect(a, endsWithAB()), a) {
+		t.Errorf("intersection should be a subset of each factor")
+	}
+	if Subset(a, Intersect(a, endsWithAB())) {
+		t.Errorf("Subset should fail in the other direction")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// The 4-state mod-counting automaton minimizes to the 2-state evenAs.
+	alpha := alphabet.New("a", "b")
+	b := NewDFABuilder(alpha, 4)
+	b.SetStart(0).SetAccept(0, 1)
+	for aMod := 0; aMod < 2; aMod++ {
+		for bMod := 0; bMod < 2; bMod++ {
+			q := 2*aMod + bMod
+			b.AddTransition(q, "a", 2*((aMod+1)%2)+bMod)
+			b.AddTransition(q, "b", 2*aMod+(bMod+1)%2)
+		}
+	}
+	big := b.Build()
+	min := big.Minimize()
+	if min.NumStates() != 2 {
+		t.Errorf("minimal size = %d, want 2", min.NumStates())
+	}
+	if !Equivalent(big, min) {
+		t.Errorf("minimization must preserve the language")
+	}
+	if big.MinimalSize() != 2 {
+		t.Errorf("MinimalSize = %d, want 2", big.MinimalSize())
+	}
+}
+
+func TestMinimizeRemovesUnreachable(t *testing.T) {
+	alpha := alphabet.New("a")
+	b := NewDFABuilder(alpha, 5)
+	b.SetStart(0).SetAccept(1)
+	b.AddTransition(0, "a", 1).AddTransition(1, "a", 0)
+	// States 2..4 are unreachable.
+	b.AddTransition(2, "a", 3).AddTransition(3, "a", 4).AddTransition(4, "a", 2)
+	d := b.Build()
+	if got := d.Minimize().NumStates(); got != 2 {
+		t.Errorf("Minimize kept unreachable states: %d states, want 2", got)
+	}
+}
+
+func TestIsEmptyAndSomeWord(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	empty := NewDFABuilder(alpha, 1).Build() // no accepting states
+	if !empty.IsEmpty() {
+		t.Errorf("automaton without accepting states should be empty")
+	}
+	if _, ok := empty.SomeWord(); ok {
+		t.Errorf("SomeWord on an empty language should fail")
+	}
+	d := endsWithAB()
+	if d.IsEmpty() {
+		t.Errorf("endsWithAB is not empty")
+	}
+	word, ok := d.SomeWord()
+	if !ok || !d.Accepts(word) {
+		t.Errorf("SomeWord returned (%v,%v), which is not accepted", word, ok)
+	}
+	if len(word) != 2 {
+		t.Errorf("SomeWord should be shortest; got %v", word)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	d := endsWithAB() // reversal: words starting with "ba"
+	r := d.Reverse()
+	cases := map[string]bool{"ba": true, "bab": true, "ab": false, "": false, "baa": true, "b": false}
+	for in, want := range cases {
+		if got := r.Accepts(w(in)); got != want {
+			t.Errorf("Reverse.Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestToNFAPreservesLanguage(t *testing.T) {
+	d := endsWithAB()
+	n := d.ToNFA()
+	for _, in := range []string{"", "ab", "aab", "ba", "abab", "abba"} {
+		if d.Accepts(w(in)) != n.Accepts(w(in)) {
+			t.Errorf("ToNFA disagrees on %q", in)
+		}
+	}
+}
+
+// randomDFA builds a random complete DFA with n states over {a,b}.
+func randomDFA(rng *rand.Rand, n int) *DFA {
+	alpha := alphabet.New("a", "b")
+	b := NewDFABuilder(alpha, n)
+	b.SetStart(rng.Intn(n))
+	for q := 0; q < n; q++ {
+		if rng.Intn(2) == 0 {
+			b.SetAccept(q)
+		}
+		b.AddTransition(q, "a", rng.Intn(n))
+		b.AddTransition(q, "b", rng.Intn(n))
+	}
+	return b.Build()
+}
+
+func randomWord(rng *rand.Rand, maxLen int) []string {
+	l := rng.Intn(maxLen + 1)
+	out := make([]string, l)
+	for i := range out {
+		out[i] = []string{"a", "b"}[rng.Intn(2)]
+	}
+	return out
+}
+
+func TestQuickMinimizePreservesLanguage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDFA(rng, 1+rng.Intn(8))
+		m := d.Minimize()
+		if m.NumStates() > d.NumStates() {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			word := randomWord(rng, 12)
+			if d.Accepts(word) != m.Accepts(word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimalIsUnique(t *testing.T) {
+	// Minimizing twice yields the same number of states, and two equivalent
+	// random DFAs have minimal automata of the same size.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDFA(rng, 1+rng.Intn(8))
+		m := d.Minimize()
+		return m.Minimize().NumStates() == m.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComplementInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDFA(rng, 1+rng.Intn(6))
+		cc := d.Complement().Complement()
+		for i := 0; i < 20; i++ {
+			word := randomWord(rng, 10)
+			if d.Accepts(word) != cc.Accepts(word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// complement(A ∪ B) ≡ complement(A) ∩ complement(B)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDFA(rng, 1+rng.Intn(5))
+		b := randomDFA(rng, 1+rng.Intn(5))
+		lhs := Union(a, b).Complement()
+		rhs := Intersect(a.Complement(), b.Complement())
+		return Equivalent(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDFA(rng, 1+rng.Intn(5))
+		rr := d.Reverse().Reverse()
+		return Equivalent(d.Minimize(), rr.Minimize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+)
+
+// thirdFromEndIsA builds the classic NFA for "the 3rd symbol from the end is
+// an a", whose minimal DFA needs 2^3 states.
+func nthFromEndIsA(n int) *NFA {
+	alpha := alphabet.New("a", "b")
+	nfa := NewNFA(alpha, n+1)
+	nfa.AddStart(0)
+	nfa.AddAccept(n)
+	nfa.AddTransition(0, "a", 0)
+	nfa.AddTransition(0, "b", 0)
+	nfa.AddTransition(0, "a", 1)
+	for i := 1; i < n; i++ {
+		nfa.AddTransition(i, "a", i+1)
+		nfa.AddTransition(i, "b", i+1)
+	}
+	return nfa
+}
+
+func TestNFAAccepts(t *testing.T) {
+	nfa := nthFromEndIsA(3)
+	cases := map[string]bool{"abb": true, "abbb": false, "aaa": true, "bab": false, "": false, "babb": true}
+	for in, want := range cases {
+		if got := nfa.Accepts(w(in)); got != want {
+			t.Errorf("Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if nfa.Accepts([]string{"z"}) {
+		t.Errorf("unknown symbols should be rejected")
+	}
+}
+
+func TestDeterminizeMatchesNFA(t *testing.T) {
+	nfa := nthFromEndIsA(3)
+	dfa := nfa.Determinize()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		word := randomWord(rng, 10)
+		if nfa.Accepts(word) != dfa.Accepts(word) {
+			t.Fatalf("determinization disagrees on %v", word)
+		}
+	}
+}
+
+func TestDeterminizeBlowup(t *testing.T) {
+	// The minimal DFA for "n-th symbol from the end is a" has exactly 2^n
+	// states: the classic witness of NFA→DFA exponential blowup.
+	for n := 1; n <= 6; n++ {
+		size := nthFromEndIsA(n).MinimalDFASize()
+		want := 1 << n
+		if size != want {
+			t.Errorf("n=%d: minimal DFA size = %d, want %d", n, size, want)
+		}
+	}
+}
+
+func TestEpsilonTransitions(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	// ε-chain: start --ε--> 1 --a--> 2(accept), plus 0 --b--> 2
+	nfa := NewNFA(alpha, 3)
+	nfa.AddStart(0).AddAccept(2)
+	nfa.AddEpsilon(0, 1)
+	nfa.AddTransition(1, "a", 2)
+	nfa.AddTransition(0, "b", 2)
+	cases := map[string]bool{"a": true, "b": true, "": false, "ab": false}
+	for in, want := range cases {
+		if got := nfa.Accepts(w(in)); got != want {
+			t.Errorf("Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+	d := nfa.Determinize()
+	for in, want := range cases {
+		if got := d.Accepts(w(in)); got != want {
+			t.Errorf("Determinize().Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestEpsilonClosureCycles(t *testing.T) {
+	alpha := alphabet.New("a")
+	nfa := NewNFA(alpha, 3)
+	nfa.AddStart(0).AddAccept(2)
+	nfa.AddEpsilon(0, 1)
+	nfa.AddEpsilon(1, 0)
+	nfa.AddEpsilon(1, 2)
+	if !nfa.Accepts(nil) {
+		t.Errorf("ε-cycles must not prevent acceptance of the empty word")
+	}
+}
+
+func TestNFAIsEmpty(t *testing.T) {
+	alpha := alphabet.New("a")
+	empty := NewNFA(alpha, 2)
+	empty.AddStart(0).AddAccept(1) // no transition connects them
+	if !empty.IsEmpty() {
+		t.Errorf("disconnected NFA should be empty")
+	}
+	empty.AddEpsilon(0, 1)
+	if empty.IsEmpty() {
+		t.Errorf("ε-reachable accepting state means non-empty")
+	}
+	if nthFromEndIsA(2).IsEmpty() {
+		t.Errorf("non-trivial NFA reported empty")
+	}
+}
+
+func TestNFAReverse(t *testing.T) {
+	nfa := nthFromEndIsA(2) // reversal: 2nd symbol (from the start) is an a
+	rev := nfa.Reverse()
+	cases := map[string]bool{"ba": true, "aa": true, "ab": false, "b": false, "bab": true}
+	for in, want := range cases {
+		if got := rev.Accepts(w(in)); got != want {
+			t.Errorf("Reverse.Accepts(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAddStateGrows(t *testing.T) {
+	nfa := NewNFA(alphabet.New("a"), 0)
+	q0 := nfa.AddState()
+	q1 := nfa.AddState()
+	if q0 != 0 || q1 != 1 || nfa.NumStates() != 2 {
+		t.Errorf("AddState numbering broken: %d %d %d", q0, q1, nfa.NumStates())
+	}
+}
+
+func TestQuickDeterminizePreservesLanguage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nfa := randomNFA(rng, 1+rng.Intn(6))
+		dfa := nfa.Determinize()
+		for i := 0; i < 25; i++ {
+			word := randomWord(rng, 8)
+			if nfa.Accepts(word) != dfa.Accepts(word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseOfReverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nfa := randomNFA(rng, 1+rng.Intn(5))
+		rr := nfa.Reverse().Reverse()
+		for i := 0; i < 20; i++ {
+			word := randomWord(rng, 8)
+			if nfa.Accepts(word) != rr.Accepts(word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomNFA builds a random NFA with n states over {a,b}, including some
+// ε-transitions.
+func randomNFA(rng *rand.Rand, n int) *NFA {
+	alpha := alphabet.New("a", "b")
+	nfa := NewNFA(alpha, n)
+	nfa.AddStart(rng.Intn(n))
+	nfa.AddAccept(rng.Intn(n))
+	edges := rng.Intn(3 * n)
+	for i := 0; i < edges; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			nfa.AddTransition(from, "a", to)
+		case 1:
+			nfa.AddTransition(from, "b", to)
+		default:
+			nfa.AddEpsilon(from, to)
+		}
+	}
+	return nfa
+}
