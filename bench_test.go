@@ -140,6 +140,12 @@ func BenchmarkE20_Streaming(b *testing.B) {
 	}
 }
 
+func BenchmarkE21_MultiQueryStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E21MultiQueryStreaming(200000, 32))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -211,6 +217,12 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e14.Rows {
 		if row[3] != row[4] {
 			t.Errorf("E14: PNWA verdict differs from the counting predicate on row %v", row)
+		}
+	}
+	e21 := experiments.E21MultiQueryStreaming(100000, 32)
+	for _, row := range e21.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E21: engine verdicts diverge from serial re-scans on row %v", row)
 		}
 	}
 }

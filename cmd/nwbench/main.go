@@ -40,6 +40,7 @@ func main() {
 		{"E17", experiments.E17Determinization},
 		{"E19", experiments.E19DecisionProcedures},
 		{"E20", experiments.E20Streaming},
+		{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(1000000, 32) }},
 	}
 	entries := full
 	if *quick {
@@ -50,6 +51,7 @@ func main() {
 			{"E9", func() experiments.Table { return experiments.E09PathSuccinctness(6) }},
 			{"E10", func() experiments.Table { return experiments.E10LinearOrderQuery(5) }},
 			{"E15", experiments.E15MembershipNPReduction},
+			{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(100000, 24) }},
 		}
 	}
 

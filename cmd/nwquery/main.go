@@ -1,11 +1,15 @@
 // Command nwquery streams an XML-like document from a file (or standard
-// input) through compiled nested-word-automaton queries in a single pass,
-// reporting the verdicts and the maximum number of simultaneously open
-// elements (the streaming memory bound of Section 3.2 of the paper).
+// input) through compiled nested-word-automaton queries, all evaluated by
+// the engine package in one left-to-right pass with memory bounded by the
+// document depth times the number of queries (Section 3.2 of the paper).
 //
 // Usage:
 //
-//	nwquery [-file doc.xml] [-order l1,l2,...] [-path l1,l2,...]
+//	nwquery [-file doc.xml] [-labels l1,l2,...] [-order l1,l2,...] [-path l1,l2,...]
+//
+// The query automata need the document's tag/text alphabet up front.  Pass
+// it with -labels to stay fully streaming; without -labels the document is
+// buffered once to discover the alphabet before the engine pass.
 package main
 
 import (
@@ -17,81 +21,123 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/docstream"
-	"repro/internal/nwa"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
 func main() {
 	file := flag.String("file", "", "document file (default: standard input)")
+	labelsFlag := flag.String("labels", "", "comma-separated document alphabet (enables the fully streaming path)")
 	order := flag.String("order", "", "comma-separated labels for a linear-order query")
 	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
 	flag.Parse()
 
-	var data []byte
-	var err error
-	if *file == "" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(*file)
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nwquery:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nwquery:", err)
-		os.Exit(1)
-	}
-	events, err := docstream.Tokenize(string(data))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nwquery:", err)
-		os.Exit(1)
-	}
-	doc := docstream.ToNestedWord(events)
-	stats := docstream.Summarize(doc)
-	fmt.Printf("document: %d positions, %d elements, depth %d, well-formed %v\n",
-		stats.Positions, stats.Elements, stats.Depth, stats.WellFormed)
 
-	labels := doc.Alphabet()
-	if *order != "" {
-		labels = append(labels, splitLabels(*order)...)
-	}
-	if *path != "" {
-		labels = append(labels, splitLabels(*path)...)
+	labels := splitLabels(*labelsFlag)
+	labels = append(labels, splitLabels(*order)...)
+	labels = append(labels, splitLabels(*path)...)
+
+	// Without -labels the alphabet must be discovered first, which costs one
+	// buffered tokenization; with -labels the engine consumes the reader
+	// directly and nothing proportional to the document is ever stored.
+	var buffered []docstream.Event
+	if *labelsFlag == "" {
+		events, err := docstream.Tokenize(readAll(in))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nwquery:", err)
+			os.Exit(1)
+		}
+		buffered = events
+		seen := map[string]bool{}
+		for _, e := range events {
+			if !seen[e.Label] {
+				seen[e.Label] = true
+				labels = append(labels, e.Label)
+			}
+		}
 	}
 	alpha := alphabet.New(labels...)
 
-	type namedQuery struct {
-		name string
-		q    *nwa.DNWA
-	}
-	queries := []namedQuery{{name: "well-formed", q: query.WellFormed(alpha)}}
+	eng := engine.New()
+	eng.Register("well-formed", query.WellFormed(alpha))
 	if *order != "" {
-		queries = append(queries, namedQuery{
-			name: "order " + *order,
-			q:    query.LinearOrder(alpha, splitLabels(*order)...),
-		})
+		eng.Register("order "+*order, query.LinearOrder(alpha, splitLabels(*order)...))
 	}
 	if *path != "" {
-		queries = append(queries, namedQuery{
-			name: "path //" + strings.ReplaceAll(*path, ",", "//"),
-			q:    query.PathQuery(alpha, splitLabels(*path)...),
-		})
+		eng.Register("path //"+strings.ReplaceAll(*path, ",", "//"), query.PathQuery(alpha, splitLabels(*path)...))
 	}
 
-	for _, nq := range queries {
-		runner := docstream.NewStreamingRunner(nq.q)
-		maxDepth := 0
-		for _, e := range events {
-			runner.Feed(e)
-			if runner.Depth() > maxDepth {
-				maxDepth = runner.Depth()
-			}
-		}
-		fmt.Printf("%-30s : %v (max open elements %d)\n", nq.name, runner.Accepting(), maxDepth)
+	var res *engine.Result
+	var err error
+	var unknown *unknownLabelSource
+	if buffered != nil {
+		res, err = eng.RunEvents(buffered)
+	} else {
+		// In streaming mode an event label missing from -labels silently
+		// drives every automaton to its dead state, so track unknown labels
+		// and warn: a false verdict caused by an incomplete -labels list
+		// looks exactly like a query rejection otherwise.
+		unknown = &unknownLabelSource{src: docstream.NewTokenizer(in), alpha: alpha}
+		res, err = eng.Run(unknown)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwquery:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("document: %d events, max open elements %d\n", res.Events, res.MaxDepth)
+	for i, name := range eng.Names() {
+		fmt.Printf("%-30s : %v\n", name, res.Verdicts[i])
+	}
+	if unknown != nil && unknown.count > 0 {
+		fmt.Fprintf(os.Stderr,
+			"nwquery: warning: %d events carried labels missing from -labels (e.g. %q); queries reject such events\n",
+			unknown.count, unknown.example)
 	}
 }
 
+// unknownLabelSource passes events through while counting labels outside the
+// declared alphabet.
+type unknownLabelSource struct {
+	src     engine.EventSource
+	alpha   *alphabet.Alphabet
+	count   int
+	example string
+}
+
+func (u *unknownLabelSource) Next() (docstream.Event, error) {
+	e, err := u.src.Next()
+	if err == nil && !u.alpha.Contains(e.Label) {
+		if u.count == 0 {
+			u.example = e.Label
+		}
+		u.count++
+	}
+	return e, err
+}
+
+func readAll(r io.Reader) string {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwquery:", err)
+		os.Exit(1)
+	}
+	return string(data)
+}
+
 func splitLabels(s string) []string {
-	parts := strings.Split(s, ",")
-	out := parts[:0]
-	for _, p := range parts {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
 		if trimmed := strings.TrimSpace(p); trimmed != "" {
 			out = append(out, trimmed)
 		}

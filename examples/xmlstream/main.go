@@ -1,14 +1,18 @@
 // Command xmlstream demonstrates the paper's main application argument:
 // the SAX event stream of an XML-like document is already a nested word, so
 // validation and querying run in a single streaming pass with memory bounded
-// by the document depth — no tree needs to be built.
+// by the document depth — no tree needs to be built.  The engine package
+// extends the argument from one query to many: every registered query is
+// answered by the same single pass.
 package main
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/alphabet"
 	"repro/internal/docstream"
+	"repro/internal/engine"
 	"repro/internal/query"
 )
 
@@ -22,38 +26,39 @@ const document = `
 const brokenDocument = `<catalog> <book> <title> dangling </book> </catalog>`
 
 func main() {
-	events, err := docstream.Tokenize(document)
+	doc, err := docstream.Parse(document)
 	if err != nil {
 		panic(err)
 	}
-	doc := docstream.ToNestedWord(events)
 	stats := docstream.Summarize(doc)
 	fmt.Printf("document: %d positions, %d elements, %d text tokens, depth %d, well-formed %v\n",
 		stats.Positions, stats.Elements, stats.TextTokens, stats.Depth, stats.WellFormed)
 
 	alpha := alphabet.New(append(doc.Alphabet(), "missing")...)
-	wellFormed := query.WellFormed(alpha)
-	hasBookTitle := query.PathQuery(alpha, "book", "title")
-	hasReportYear := query.PathQuery(alpha, "report", "year")
-	wordsBeforeYear := query.LinearOrder(alpha, "words", "2007")
 
-	fmt.Println("\nbatch evaluation over the whole document:")
-	fmt.Printf("  well-formed                : %v\n", wellFormed.Accepts(doc))
-	fmt.Printf("  //book//title              : %v\n", hasBookTitle.Accepts(doc))
-	fmt.Printf("  //report//year             : %v\n", hasReportYear.Accepts(doc))
-	fmt.Printf("  'words' before '2007'      : %v\n", wordsBeforeYear.Accepts(doc))
+	// One engine, four queries, one pass: the tokenizer feeds the reader's
+	// events straight into the per-query runners, so the memory in play is
+	// the four runner stacks — never the document.
+	eng := engine.New()
+	eng.Register("well-formed", query.WellFormed(alpha))
+	eng.Register("//book//title", query.PathQuery(alpha, "book", "title"))
+	eng.Register("//report//year", query.PathQuery(alpha, "report", "year"))
+	eng.Register("'words' before '2007'", query.LinearOrder(alpha, "words", "2007"))
 
-	// Streaming evaluation: one pass, memory proportional to the depth.
-	runner := docstream.NewStreamingRunner(hasBookTitle)
-	maxDepth := 0
-	for _, e := range events {
-		runner.Feed(e)
-		if runner.Depth() > maxDepth {
-			maxDepth = runner.Depth()
-		}
+	res, err := eng.RunReader(strings.NewReader(document))
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("\nstreaming //book//title: verdict %v, max open elements %d\n",
-		runner.Accepting(), maxDepth)
+	fmt.Printf("\nsingle-pass engine evaluation (%d events, max open elements %d):\n",
+		res.Events, res.MaxDepth)
+	for i, name := range eng.Names() {
+		fmt.Printf("  %-26s : %v\n", name, res.Verdicts[i])
+	}
+
+	// The verdicts coincide with batch evaluation over the parsed word.
+	fmt.Println("\nbatch evaluation over the whole document:")
+	fmt.Printf("  //book//title              : %v\n",
+		query.PathQuery(alpha, "book", "title").Accepts(doc))
 
 	// Documents that do not parse into a tree are still nested words.
 	broken, err := docstream.Parse(brokenDocument)

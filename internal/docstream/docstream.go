@@ -7,9 +7,12 @@
 package docstream
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
@@ -22,55 +25,146 @@ type Event struct {
 	Label string
 }
 
-// Tokenize parses a lightweight XML-like syntax into a stream of events:
-// "<name>" opens an element, "</name>" closes one, and any other
-// whitespace-separated token is text.  Attributes, comments, and character
-// escaping are intentionally out of scope — the point is the event stream,
-// not XML conformance.
-func Tokenize(doc string) ([]Event, error) {
-	var events []Event
-	rest := doc
-	for len(rest) > 0 {
-		switch {
-		case rest[0] == '<':
-			end := strings.IndexByte(rest, '>')
-			if end < 0 {
-				return nil, fmt.Errorf("docstream: unterminated tag in %q", truncate(rest))
-			}
-			tag := rest[1:end]
-			rest = rest[end+1:]
-			if strings.HasPrefix(tag, "/") {
-				name := strings.TrimSpace(tag[1:])
-				if name == "" {
-					return nil, fmt.Errorf("docstream: empty closing tag")
-				}
-				events = append(events, Event{Kind: nestedword.Return, Label: name})
-			} else {
-				name := strings.TrimSpace(tag)
-				if name == "" {
-					return nil, fmt.Errorf("docstream: empty opening tag")
-				}
-				events = append(events, Event{Kind: nestedword.Call, Label: name})
-			}
-		case unicode.IsSpace(rune(rest[0])):
-			rest = rest[1:]
-		default:
-			end := strings.IndexAny(rest, "< \t\n\r")
-			if end < 0 {
-				end = len(rest)
-			}
-			events = append(events, Event{Kind: nestedword.Internal, Label: rest[:end]})
-			rest = rest[end:]
-		}
-	}
-	return events, nil
+// Tokenizer reads the lightweight XML-like syntax incrementally from an
+// io.Reader and emits one Event at a time: "<name>" opens an element,
+// "</name>" closes one, and any other whitespace-separated token is text.
+// Attributes, comments, and character escaping are intentionally out of scope
+// — the point is the event stream, not XML conformance.
+//
+// The tokenizer never buffers more than one token, so a document of any
+// length streams through it in constant memory; combined with a streaming
+// runner or the engine package this realizes the paper's single-pass,
+// depth-bounded evaluation claim end to end.
+type Tokenizer struct {
+	r   *bufio.Reader
+	buf strings.Builder // scratch for the token currently being read
+	err error           // sticky error (io.EOF after the last token)
 }
 
-func truncate(s string) string {
-	if len(s) > 20 {
-		return s[:20] + "..."
+// NewTokenizer returns a tokenizer reading from r.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	return &Tokenizer{r: bufio.NewReader(r)}
+}
+
+// Next returns the next event.  At the end of the input it returns io.EOF;
+// any other error is a syntax or read error.  After a non-nil error every
+// subsequent call returns the same error.
+func (t *Tokenizer) Next() (Event, error) {
+	if t.err != nil {
+		return Event{}, t.err
 	}
-	return s
+	e, err := t.next()
+	if err != nil {
+		t.err = err
+		return Event{}, err
+	}
+	return e, nil
+}
+
+func (t *Tokenizer) next() (Event, error) {
+	// Skip inter-token whitespace, decoding full runes so multi-byte
+	// whitespace such as U+00A0 is recognized instead of being misread
+	// byte by byte.
+	var c rune
+	for {
+		var err error
+		c, _, err = t.r.ReadRune()
+		if err != nil {
+			return Event{}, err // io.EOF here is the clean end of the stream
+		}
+		if !unicode.IsSpace(c) {
+			break
+		}
+	}
+	if c == '<' {
+		return t.readTag()
+	}
+	// Text token: runs until whitespace, '<', or the end of the input.
+	t.buf.Reset()
+	t.buf.WriteRune(c)
+	for {
+		c, _, err := t.r.ReadRune()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Event{}, err
+		}
+		if c == '<' {
+			if err := t.r.UnreadRune(); err != nil {
+				return Event{}, err
+			}
+			break
+		}
+		if unicode.IsSpace(c) {
+			break
+		}
+		t.buf.WriteRune(c)
+	}
+	return Event{Kind: nestedword.Internal, Label: t.buf.String()}, nil
+}
+
+// readTag consumes a tag whose '<' has already been read.
+func (t *Tokenizer) readTag() (Event, error) {
+	t.buf.Reset()
+	for {
+		c, _, err := t.r.ReadRune()
+		if err == io.EOF {
+			return Event{}, fmt.Errorf("docstream: unterminated tag in %q", truncate("<"+t.buf.String()))
+		}
+		if err != nil {
+			return Event{}, err
+		}
+		if c == '>' {
+			break
+		}
+		t.buf.WriteRune(c)
+	}
+	tag := t.buf.String()
+	if strings.HasPrefix(tag, "/") {
+		name := strings.TrimSpace(tag[1:])
+		if name == "" {
+			return Event{}, fmt.Errorf("docstream: empty closing tag")
+		}
+		return Event{Kind: nestedword.Return, Label: name}, nil
+	}
+	name := strings.TrimSpace(tag)
+	if name == "" {
+		return Event{}, fmt.Errorf("docstream: empty opening tag")
+	}
+	return Event{Kind: nestedword.Call, Label: name}, nil
+}
+
+// Tokenize parses a whole document into its event slice.  It is a thin
+// wrapper over the incremental Tokenizer for callers that already hold the
+// document in memory.
+func Tokenize(doc string) ([]Event, error) {
+	tk := NewTokenizer(strings.NewReader(doc))
+	var events []Event
+	for {
+		e, err := tk.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+}
+
+// truncate shortens error context to at most 20 bytes without splitting a
+// UTF-8 rune.
+func truncate(s string) string {
+	const max = 20
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "..."
 }
 
 // ToNestedWord converts an event stream to the nested word it denotes.

@@ -1,0 +1,310 @@
+// Package engine evaluates many compiled nested-word-automaton queries over
+// one shared event stream in a single left-to-right pass.
+//
+// The paper's headline systems claim (Section 3.2) is that a deterministic
+// NWA answers a document query in one streaming pass with memory bounded by
+// the document depth.  This package lifts that claim from one query to N:
+// an Engine holds N compiled DNWAs (typically built by internal/query) and a
+// Session holds one lightweight runner per query — a linear state plus a
+// stack of hierarchical states.  Events read from the source are fanned out
+// to every runner in fixed-size batches, so each query observes the same
+// single pass and the stream is never materialized; total memory is
+// O(depth · N) plus one constant-size batch buffer, independent of the
+// document length.
+//
+// Sessions are pooled: serving many documents against the same query set
+// reuses the runner state and batch buffer allocation-free, which is what a
+// production front-end answering repeated requests needs.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+	"repro/internal/nwa"
+)
+
+// EventSource yields a document's SAX-style events one at a time.  Next
+// returns io.EOF at the clean end of the stream; any other error aborts the
+// pass.  *docstream.Tokenizer satisfies this interface directly.
+type EventSource interface {
+	Next() (docstream.Event, error)
+}
+
+// Engine is an immutable set of registered queries.  Build it once with
+// Register, then call Run (safe for concurrent use) for each document.
+type Engine struct {
+	names   []string
+	queries []*nwa.DNWA
+
+	batchSize int
+	workers   int
+
+	pool sync.Pool // *Session
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBatchSize sets how many events are read from the source before being
+// fanned out to the runners (default 1024).  Larger batches amortize the
+// per-batch bookkeeping; the buffer stays constant-size either way.
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithWorkers sets how many goroutines share the runners during fan-out
+// (default 1, i.e. sequential).  Runners are independent, so each batch can
+// be applied to disjoint runner subsets in parallel; this pays off once the
+// per-event automaton work dominates the per-batch synchronization, e.g.
+// for many queries with large product automata.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// New creates an empty engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{batchSize: 1024, workers: 1}
+	for _, o := range opts {
+		o(e)
+	}
+	e.pool.New = func() any { return e.newSession() }
+	return e
+}
+
+// Register adds a compiled query under a display name and returns its index
+// into Result.Verdicts.  Register must not be called concurrently with Run.
+func (e *Engine) Register(name string, q *nwa.DNWA) int {
+	e.names = append(e.names, name)
+	e.queries = append(e.queries, q)
+	// Sessions created for the old query set are stale; drop them.
+	e.pool = sync.Pool{New: func() any { return e.newSession() }}
+	return len(e.queries) - 1
+}
+
+// Len returns the number of registered queries.
+func (e *Engine) Len() int { return len(e.queries) }
+
+// Names returns the registered query names in index order.
+func (e *Engine) Names() []string { return append([]string(nil), e.names...) }
+
+// Result reports one document pass: the per-query verdicts (indexed as
+// returned by Register), the number of events consumed, and the maximum
+// number of simultaneously open elements — the streaming memory bound.
+type Result struct {
+	Verdicts []bool
+	Events   int
+	MaxDepth int
+}
+
+// runner is the per-query streaming state: the current linear state and the
+// hierarchical states of the currently open elements.  It mirrors
+// docstream.StreamingRunner but lives inside a pooled session.
+type runner struct {
+	a     *nwa.DNWA
+	state int
+	stack []int
+}
+
+func (r *runner) feed(e docstream.Event) {
+	switch e.Kind {
+	case nestedword.Call:
+		lin, hier := r.a.StepCall(r.state, e.Label)
+		r.stack = append(r.stack, hier)
+		r.state = lin
+	case nestedword.Return:
+		hier := r.a.Start()
+		if n := len(r.stack); n > 0 {
+			hier = r.stack[n-1]
+			r.stack = r.stack[:n-1]
+		}
+		r.state = r.a.StepReturn(r.state, hier, e.Label)
+	default:
+		r.state = r.a.StepInternal(r.state, e.Label)
+	}
+}
+
+// Session is the reusable per-pass state: one runner per query plus the
+// shared batch buffer.  Obtain one with Acquire for manual event feeding, or
+// let Run manage it.
+type Session struct {
+	engine  *Engine
+	runners []runner
+	batch   []docstream.Event
+	events  int
+	depth   int // shared: all runners see the same calls/returns
+	max     int
+}
+
+func (e *Engine) newSession() *Session {
+	s := &Session{
+		engine:  e,
+		runners: make([]runner, len(e.queries)),
+		batch:   make([]docstream.Event, 0, e.batchSize),
+	}
+	for i, q := range e.queries {
+		s.runners[i] = runner{a: q, state: q.Start()}
+	}
+	return s
+}
+
+// Acquire takes a reset session from the pool.  Call Release when done to
+// make its allocations available to the next pass.
+func (e *Engine) Acquire() *Session {
+	s := e.pool.Get().(*Session)
+	s.reset()
+	return s
+}
+
+// Release returns a session to the pool.
+func (e *Engine) Release(s *Session) { e.pool.Put(s) }
+
+func (s *Session) reset() {
+	for i := range s.runners {
+		s.runners[i].state = s.runners[i].a.Start()
+		s.runners[i].stack = s.runners[i].stack[:0]
+	}
+	s.batch = s.batch[:0]
+	s.events, s.depth, s.max = 0, 0, 0
+}
+
+// Feed buffers one event, fanning the batch out to the runners once it
+// fills.  Result flushes any buffered tail, so intermediate Result calls
+// see every event fed so far.
+func (s *Session) Feed(e docstream.Event) {
+	s.batch = append(s.batch, e)
+	if len(s.batch) >= cap(s.batch) {
+		s.flush()
+	}
+}
+
+// flush applies the buffered batch to every runner and updates the shared
+// depth tracking, then empties the buffer.
+func (s *Session) flush() {
+	if len(s.batch) == 0 {
+		return
+	}
+	w := s.engine.workers
+	if w > len(s.runners) {
+		w = len(s.runners)
+	}
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
+	if w <= 1 {
+		for i := range s.runners {
+			r := &s.runners[i]
+			for _, e := range s.batch {
+				r.feed(e)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(s.runners) + w - 1) / w
+		for lo := 0; lo < len(s.runners); lo += chunk {
+			hi := lo + chunk
+			if hi > len(s.runners) {
+				hi = len(s.runners)
+			}
+			wg.Add(1)
+			go func(rs []runner) {
+				defer wg.Done()
+				for i := range rs {
+					r := &rs[i]
+					for _, e := range s.batch {
+						r.feed(e)
+					}
+				}
+			}(s.runners[lo:hi])
+		}
+		wg.Wait()
+	}
+	// Depth depends only on the event kinds, so it is tracked once for the
+	// whole session rather than per runner.
+	for _, e := range s.batch {
+		switch e.Kind {
+		case nestedword.Call:
+			s.depth++
+			if s.depth > s.max {
+				s.max = s.depth
+			}
+		case nestedword.Return:
+			if s.depth > 0 {
+				s.depth--
+			}
+		}
+	}
+	s.events += len(s.batch)
+	s.batch = s.batch[:0]
+}
+
+// Result snapshots the verdicts for the events consumed so far, viewed as a
+// complete nested word.
+func (s *Session) Result() *Result {
+	s.flush()
+	res := &Result{
+		Verdicts: make([]bool, len(s.runners)),
+		Events:   s.events,
+		MaxDepth: s.max,
+	}
+	for i := range s.runners {
+		res.Verdicts[i] = s.runners[i].a.IsAccepting(s.runners[i].state)
+	}
+	return res
+}
+
+// Run streams the whole source through a pooled session: every registered
+// query is evaluated in the same single pass, and the event stream is never
+// stored.  It is safe to call concurrently; each call uses its own session.
+func (e *Engine) Run(src EventSource) (*Result, error) {
+	s := e.Acquire()
+	defer e.Release(s)
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.batch = append(s.batch, ev)
+		if len(s.batch) == cap(s.batch) {
+			s.flush()
+		}
+	}
+	s.flush()
+	return s.Result(), nil
+}
+
+// RunReader tokenizes the reader and runs the pass — the end-to-end
+// streaming path from raw bytes to verdicts.
+func (e *Engine) RunReader(r io.Reader) (*Result, error) {
+	return e.Run(docstream.NewTokenizer(r))
+}
+
+// RunEvents runs the pass over an in-memory event slice.
+func (e *Engine) RunEvents(events []docstream.Event) (*Result, error) {
+	return e.Run(&sliceSource{events: events})
+}
+
+// Verdict looks up a query's verdict by name.
+func (r *Result) Verdict(e *Engine, name string) (bool, error) {
+	for i, n := range e.names {
+		if n == name {
+			return r.Verdicts[i], nil
+		}
+	}
+	return false, fmt.Errorf("engine: no query named %q", name)
+}

@@ -1,0 +1,216 @@
+package engine_test
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/nwa"
+	"repro/internal/query"
+)
+
+// testQueries builds a small mixed query set over {a, b, c}.
+func testQueries(alpha *alphabet.Alphabet) (names []string, queries []*nwa.DNWA) {
+	names = []string{"well-formed", "//a//b", "order a,c", "contains b"}
+	queries = []*nwa.DNWA{
+		query.WellFormed(alpha),
+		query.PathQuery(alpha, "a", "b"),
+		query.LinearOrder(alpha, "a", "c"),
+		query.ContainsLabel(alpha, "b"),
+	}
+	return names, queries
+}
+
+// TestDifferentialAgainstAccepts checks the ISSUE's differential criterion:
+// on ≥ 1000 random nested words — including words with pending calls and
+// returns — the engine's verdicts and a StreamingRunner's verdicts are
+// identical to DNWA.Accepts for every query.
+func TestDifferentialAgainstAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alpha := alphabet.New("a", "b", "c")
+	names, queries := testQueries(alpha)
+	eng := engine.New(engine.WithBatchSize(16)) // small batches exercise flushing
+	for i, q := range queries {
+		eng.Register(names[i], q)
+	}
+	labels := []string{"a", "b", "c"}
+	const trials = 1200
+	pending := 0
+	for trial := 0; trial < trials; trial++ {
+		var n = generator.RandomNestedWord(rng, rng.Intn(60), labels)
+		if trial%3 == 0 {
+			// Well-matched documents as well, so both shapes are covered.
+			n = generator.RandomDocument(rng, 2+rng.Intn(60), 6, labels)
+		}
+		if !n.IsWellMatched() {
+			pending++
+		}
+		res, err := eng.Run(engine.Word(n))
+		if err != nil {
+			t.Fatalf("trial %d: engine.Run: %v", trial, err)
+		}
+		if res.Events != n.Len() {
+			t.Fatalf("trial %d: consumed %d events, want %d", trial, res.Events, n.Len())
+		}
+		for i, q := range queries {
+			want := q.Accepts(n)
+			if res.Verdicts[i] != want {
+				t.Fatalf("trial %d: engine verdict for %s = %v, Accepts = %v on %v",
+					trial, names[i], res.Verdicts[i], want, n)
+			}
+			r := docstream.NewStreamingRunner(q)
+			for j := 0; j < n.Len(); j++ {
+				r.Feed(docstream.Event{Kind: n.KindAt(j), Label: n.SymbolAt(j)})
+			}
+			if r.Accepting() != want {
+				t.Fatalf("trial %d: StreamingRunner verdict for %s = %v, Accepts = %v on %v",
+					trial, names[i], r.Accepting(), want, n)
+			}
+		}
+	}
+	if pending == 0 {
+		t.Fatalf("no words with pending calls/returns were generated")
+	}
+}
+
+// TestParallelWorkersMatchSequential checks that the goroutine fan-out path
+// computes the same verdicts as the sequential path.
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha := alphabet.New("a", "b", "c")
+	names, queries := testQueries(alpha)
+	seq := engine.New()
+	par := engine.New(engine.WithWorkers(4), engine.WithBatchSize(64))
+	for i, q := range queries {
+		seq.Register(names[i], q)
+		par.Register(names[i], q)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := generator.RandomDocument(rng, 200, 8, []string{"a", "b", "c"})
+		a, err := seq.Run(engine.Word(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Run(engine.Word(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Verdicts {
+			if a.Verdicts[i] != b.Verdicts[i] {
+				t.Fatalf("trial %d: worker fan-out disagrees on %s", trial, names[i])
+			}
+		}
+	}
+}
+
+// TestMillionEventSinglePass is the acceptance run: ≥ 4 simultaneous queries
+// over a ≥ 1M-event generated document, streamed in one pass.  The document
+// is produced incrementally, so nothing proportional to its length is ever
+// held in memory; the pooled second pass allocates (next to) nothing.
+func TestMillionEventSinglePass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a million events")
+	}
+	alpha := alphabet.New("a", "b", "c")
+	names, queries := testQueries(alpha)
+	eng := engine.New()
+	for i, q := range queries {
+		eng.Register(names[i], q)
+	}
+	labels := []string{"a", "b", "c"}
+	const size = 1_000_000
+	res, err := eng.Run(generator.NewDocumentStream(99, size, 40, labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < size {
+		t.Fatalf("streamed %d events, want ≥ %d", res.Events, size)
+	}
+	if res.MaxDepth > 40 {
+		t.Fatalf("depth %d exceeds the generator bound", res.MaxDepth)
+	}
+	// The pooled re-run must not allocate per event: everything it needs —
+	// runners, stacks, batch buffer — is reused from the first pass.
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := eng.Run(generator.NewDocumentStream(99, size, 40, labels)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The generator itself allocates its RNG and stack; allow a small
+	// constant budget, far below one allocation per event.
+	if allocs > 100 {
+		t.Fatalf("pooled pass allocates %v objects; the event stream is being buffered somewhere", allocs)
+	}
+	// Cross-check the verdicts against the serial runners on the same seed.
+	for i, q := range queries {
+		r := docstream.NewStreamingRunner(q)
+		src := generator.NewDocumentStream(99, size, 40, labels)
+		for {
+			e, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Feed(e)
+		}
+		if r.Accepting() != res.Verdicts[i] {
+			t.Fatalf("query %s: engine %v, serial %v", names[i], res.Verdicts[i], r.Accepting())
+		}
+	}
+}
+
+// TestRunReader drives the full pipeline: raw bytes → incremental tokenizer
+// → engine, with no intermediate event slice.
+func TestRunReader(t *testing.T) {
+	doc := `<catalog> <book> <title> nested words </title> </book> <misc> stray </misc> </catalog>`
+	alpha := alphabet.New("catalog", "book", "title", "misc", "nested", "words", "stray")
+	eng := engine.New()
+	eng.Register("well-formed", query.WellFormed(alpha))
+	eng.Register("//book//title", query.PathQuery(alpha, "book", "title"))
+	eng.Register("//misc//title", query.PathQuery(alpha, "misc", "title"))
+	res, err := eng.RunReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verdicts[0] || !res.Verdicts[1] || res.Verdicts[2] {
+		t.Fatalf("verdicts = %v, want [true true false]", res.Verdicts)
+	}
+	if res.MaxDepth != 3 {
+		t.Fatalf("max depth = %d, want 3", res.MaxDepth)
+	}
+	if v, err := res.Verdict(eng, "//book//title"); err != nil || !v {
+		t.Fatalf("Verdict lookup = %v, %v", v, err)
+	}
+	if _, err := res.Verdict(eng, "nope"); err == nil {
+		t.Fatalf("Verdict of an unknown name should fail")
+	}
+}
+
+// TestSessionFeed exercises the manual session API used by cmd/nwquery.
+func TestSessionFeed(t *testing.T) {
+	alpha := alphabet.New("a", "b", "c")
+	names, queries := testQueries(alpha)
+	eng := engine.New()
+	for i, q := range queries {
+		eng.Register(names[i], q)
+	}
+	n := generator.RandomDocument(rand.New(rand.NewSource(3)), 120, 6, []string{"a", "b", "c"})
+	s := eng.Acquire()
+	defer eng.Release(s)
+	for i := 0; i < n.Len(); i++ {
+		s.Feed(docstream.Event{Kind: n.KindAt(i), Label: n.SymbolAt(i)})
+	}
+	res := s.Result()
+	for i, q := range queries {
+		if res.Verdicts[i] != q.Accepts(n) {
+			t.Fatalf("session verdict for %s diverges from Accepts", names[i])
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"io"
+
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+)
+
+// sliceSource streams an in-memory event slice.
+type sliceSource struct {
+	events []docstream.Event
+	pos    int
+}
+
+func (s *sliceSource) Next() (docstream.Event, error) {
+	if s.pos >= len(s.events) {
+		return docstream.Event{}, io.EOF
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Events wraps an in-memory event slice as an EventSource.
+func Events(events []docstream.Event) EventSource {
+	return &sliceSource{events: events}
+}
+
+// wordSource streams a nested word position by position.
+type wordSource struct {
+	n   *nestedword.NestedWord
+	pos int
+}
+
+func (s *wordSource) Next() (docstream.Event, error) {
+	if s.pos >= s.n.Len() {
+		return docstream.Event{}, io.EOF
+	}
+	e := docstream.Event{Kind: s.n.KindAt(s.pos), Label: s.n.SymbolAt(s.pos)}
+	s.pos++
+	return e, nil
+}
+
+// Word wraps a nested word as an EventSource; its positions stream through
+// the engine exactly as the equivalent document would.
+func Word(n *nestedword.NestedWord) EventSource {
+	return &wordSource{n: n}
+}

@@ -7,10 +7,14 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"repro/internal/alphabet"
 	"repro/internal/docstream"
+	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
@@ -573,6 +577,142 @@ func E20Streaming() Table {
 	}
 }
 
+// E21Queries builds the named query mix used by the multi-query streaming
+// experiment: path, linear-order, label, and well-formedness queries over
+// the three-letter document alphabet, in a fixed order so "the first n
+// queries" is a stable workload.
+func E21Queries(alpha *alphabet.Alphabet, n int) (names []string, queries []*nwa.DNWA) {
+	type nq struct {
+		name string
+		q    *nwa.DNWA
+	}
+	all := []nq{
+		{"well-formed", query.WellFormed(alpha)},
+		{"//a//b", query.PathQuery(alpha, "a", "b")},
+		{"order a,b,c", query.LinearOrder(alpha, "a", "b", "c")},
+		{"//b//c", query.PathQuery(alpha, "b", "c")},
+		{"contains c", query.ContainsLabel(alpha, "c")},
+		{"//a//b//c", query.PathQuery(alpha, "a", "b", "c")},
+		{"order c,a", query.LinearOrder(alpha, "c", "a")},
+		{"//c//a", query.PathQuery(alpha, "c", "a")},
+		{"order b,b", query.LinearOrder(alpha, "b", "b")},
+		{"//b//a", query.PathQuery(alpha, "b", "a")},
+		{"contains a", query.ContainsLabel(alpha, "a")},
+		{"//c//b//a", query.PathQuery(alpha, "c", "b", "a")},
+		{"order a,c,b", query.LinearOrder(alpha, "a", "c", "b")},
+		{"//a//c", query.PathQuery(alpha, "a", "c")},
+		{"order c,c,c", query.LinearOrder(alpha, "c", "c", "c")},
+		{"//b//c//a", query.PathQuery(alpha, "b", "c", "a")},
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	for _, e := range all[:n] {
+		names = append(names, e.name)
+		queries = append(queries, e.q)
+	}
+	return names, queries
+}
+
+// e21Labels is the document alphabet of the streaming experiment.
+var e21Labels = []string{"a", "b", "c"}
+
+const e21Seed = 21
+
+// E21MultiQueryStreaming measures the engine package's extension of the
+// Section 3.2 streaming claim to N simultaneous queries: a single pass fans
+// every event out to N per-query runners, versus re-scanning (re-generating)
+// the document once per query with one StreamingRunner each.  The document
+// is produced by a streaming generator and never materialized, so the
+// engine's memory is the batch buffer plus one depth-bounded stack per
+// query; the alloc column reports the bytes allocated during the timed
+// pooled pass.
+func E21MultiQueryStreaming(size, maxDepth int) Table {
+	alpha := alphabet.New(e21Labels...)
+	rows := [][]string{}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		names, queries := E21Queries(alpha, n)
+		eng := engine.New()
+		for i, q := range queries {
+			eng.Register(names[i], q)
+		}
+		stream := func() *generator.DocumentStream {
+			return generator.NewDocumentStream(e21Seed, size, maxDepth, e21Labels)
+		}
+		// Warm-up pass so the timed passes reuse a pooled session.
+		if _, err := eng.Run(stream()); err != nil {
+			panic(err)
+		}
+		// Each side is timed over a few passes and the fastest is kept, so a
+		// scheduling hiccup on one pass does not decide the comparison.
+		const reps = 3
+		var res *engine.Result
+		var fanout time.Duration
+		var allocKB float64
+		for rep := 0; rep < reps; rep++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			r, err := eng.Run(stream())
+			d := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				panic(err)
+			}
+			if rep == 0 || d < fanout {
+				res, fanout = r, d
+				allocKB = float64(after.TotalAlloc-before.TotalAlloc) / 1024
+			}
+		}
+
+		// Serial baseline: one full re-scan of the document per query.
+		var serial time.Duration
+		serialVerdicts := make([]bool, len(queries))
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			for i, q := range queries {
+				r := docstream.NewStreamingRunner(q)
+				src := stream()
+				for {
+					e, err := src.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						panic(err)
+					}
+					r.Feed(e)
+				}
+				serialVerdicts[i] = r.Accepting()
+			}
+			if d := time.Since(t0); rep == 0 || d < serial {
+				serial = d
+			}
+		}
+
+		agree := true
+		for i := range serialVerdicts {
+			if serialVerdicts[i] != res.Verdicts[i] {
+				agree = false
+			}
+		}
+		perEvent := func(d time.Duration) string {
+			return ftoa(float64(d.Nanoseconds()) / float64(res.Events))
+		}
+		rows = append(rows, []string{
+			itoa(n), itoa(res.Events), itoa(res.MaxDepth),
+			perEvent(fanout), perEvent(serial),
+			ftoa(float64(serial) / float64(fanout)),
+			ftoa(allocKB), btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E21 (engine): N simultaneous queries, single-pass fan-out vs one re-scan per query",
+		Header: []string{"queries", "events", "depth", "fanout ns/ev", "serial ns/ev", "speedup", "alloc KB", "agree"},
+		Rows:   rows,
+	}
+}
+
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
 	return []Table{
@@ -595,6 +735,7 @@ func All() []Table {
 		E17Determinization(),
 		E19DecisionProcedures(),
 		E20Streaming(),
+		E21MultiQueryStreaming(200000, 32),
 	}
 }
 

@@ -1,9 +1,11 @@
 package generator
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
+	"repro/internal/docstream"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
 	"repro/internal/word"
@@ -184,5 +186,69 @@ func TestLinearOrderDocumentAndFigure2(t *testing.T) {
 	}
 	if f2.CountLabel("a") != 6 || f2.CountLabel("b") != 7 {
 		t.Errorf("Figure2Tree(3) label counts wrong: %d a's, %d b's", f2.CountLabel("a"), f2.CountLabel("b"))
+	}
+}
+
+// TestDocumentStream checks the streaming generator: deterministic per seed,
+// well-matched with matching labels, depth-bounded, and at least the
+// requested number of events.
+func TestDocumentStream(t *testing.T) {
+	const size, maxDepth = 5000, 8
+	collect := func() []docstream.Event {
+		src := NewDocumentStream(77, size, maxDepth, []string{"a", "b"})
+		var out []docstream.Event
+		for {
+			e, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, e)
+		}
+		if src.Emitted() != len(out) {
+			t.Fatalf("Emitted() = %d, want %d", src.Emitted(), len(out))
+		}
+		return out
+	}
+	first, second := collect(), collect()
+	if len(first) < size {
+		t.Fatalf("stream yielded %d events, want ≥ %d", len(first), size)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("same seed yielded %d then %d events", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	depth, maxSeen := 0, 0
+	var stack []string
+	for i, e := range first {
+		switch e.Kind {
+		case nestedword.Call:
+			stack = append(stack, e.Label)
+			depth++
+			if depth > maxSeen {
+				maxSeen = depth
+			}
+		case nestedword.Return:
+			if len(stack) == 0 {
+				t.Fatalf("event %d: unmatched return", i)
+			}
+			if top := stack[len(stack)-1]; top != e.Label {
+				t.Fatalf("event %d: closing %q while %q is open", i, e.Label, top)
+			}
+			stack = stack[:len(stack)-1]
+			depth--
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("%d elements left open at the end of the stream", len(stack))
+	}
+	if maxSeen > maxDepth {
+		t.Fatalf("depth reached %d, bound is %d", maxSeen, maxDepth)
 	}
 }
