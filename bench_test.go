@@ -1,6 +1,6 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment of EXPERIMENTS.md (E1..E20, excluding E18 which was not
-// implemented — see DESIGN.md).  Each benchmark recomputes its experiment's
+// per experiment (E1..E22, excluding E18 which was not implemented — see
+// DESIGN.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
 // print the tables themselves.
@@ -146,6 +146,12 @@ func BenchmarkE21_MultiQueryStreaming(b *testing.B) {
 	}
 }
 
+func BenchmarkE22_CompiledVsMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E22CompiledVsMap(200000, 32))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -223,6 +229,12 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e21.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E21: engine verdicts diverge from serial re-scans on row %v", row)
+		}
+	}
+	e22 := experiments.E22CompiledVsMap(100000, 32)
+	for _, row := range e22.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E22: compiled verdicts diverge from map-backed runners on row %v", row)
 		}
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 		{"E19", experiments.E19DecisionProcedures},
 		{"E20", experiments.E20Streaming},
 		{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(1000000, 32) }},
+		{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(1000000, 32) }},
 	}
 	entries := full
 	if *quick {
@@ -52,6 +53,7 @@ func main() {
 			{"E10", func() experiments.Table { return experiments.E10LinearOrderQuery(5) }},
 			{"E15", experiments.E15MembershipNPReduction},
 			{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(100000, 24) }},
+			{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(100000, 24) }},
 		}
 	}
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/alphabet"
@@ -36,8 +37,7 @@ func main() {
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "nwquery:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		in = f
@@ -54,8 +54,7 @@ func main() {
 	if *labelsFlag == "" {
 		events, err := docstream.Tokenize(readAll(in))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "nwquery:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		buffered = events
 		seen := map[string]bool{}
@@ -69,12 +68,18 @@ func main() {
 	alpha := alphabet.New(labels...)
 
 	eng := engine.New()
-	eng.Register("well-formed", query.WellFormed(alpha))
+	register := func(name string, q *query.Compiled) {
+		if _, err := eng.RegisterQuery(name, q); err != nil {
+			fatal(err)
+		}
+	}
+	register("well-formed", query.Compile(query.WellFormed(alpha)))
 	if *order != "" {
-		eng.Register("order "+*order, query.LinearOrder(alpha, splitLabels(*order)...))
+		register("order "+*order, query.Compile(query.LinearOrder(alpha, splitLabels(*order)...)))
 	}
 	if *path != "" {
-		eng.Register("path //"+strings.ReplaceAll(*path, ",", "//"), query.PathQuery(alpha, splitLabels(*path)...))
+		register("path //"+strings.ReplaceAll(*path, ",", "//"),
+			query.Compile(query.PathQuery(alpha, splitLabels(*path)...)))
 	}
 
 	var res *engine.Result
@@ -83,54 +88,93 @@ func main() {
 	if buffered != nil {
 		res, err = eng.RunEvents(buffered)
 	} else {
-		// In streaming mode an event label missing from -labels silently
-		// drives every automaton to its dead state, so track unknown labels
-		// and warn: a false verdict caused by an incomplete -labels list
-		// looks exactly like a query rejection otherwise.
-		unknown = &unknownLabelSource{src: docstream.NewTokenizer(in), alpha: alpha}
+		// In streaming mode a label missing from -labels maps to the
+		// dedicated out-of-alphabet symbol ID, which drives every automaton
+		// to its dead state.  That is uniform and correct, but a false
+		// verdict caused by an incomplete -labels list looks exactly like a
+		// query rejection, so track the out-of-alphabet labels — the
+		// tokenizer has already interned each event, making the check one
+		// integer compare — and summarize them once at exit.
+		unknown = &unknownLabelSource{
+			src:    docstream.NewInterningTokenizer(in, alpha),
+			alpha:  alpha,
+			counts: map[string]int{},
+		}
 		res, err = eng.Run(unknown)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nwquery:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	fmt.Printf("document: %d events, max open elements %d\n", res.Events, res.MaxDepth)
 	for i, name := range eng.Names() {
 		fmt.Printf("%-30s : %v\n", name, res.Verdicts[i])
 	}
-	if unknown != nil && unknown.count > 0 {
-		fmt.Fprintf(os.Stderr,
-			"nwquery: warning: %d events carried labels missing from -labels (e.g. %q); queries reject such events\n",
-			unknown.count, unknown.example)
-	}
+	unknown.report(os.Stderr)
 }
 
-// unknownLabelSource passes events through while counting labels outside the
-// declared alphabet.
+// unknownLabelSource passes pre-interned events through while tallying, per
+// distinct label, the events that carry the out-of-alphabet symbol ID.
 type unknownLabelSource struct {
-	src     engine.EventSource
-	alpha   *alphabet.Alphabet
-	count   int
-	example string
+	src    engine.EventSource
+	alpha  *alphabet.Alphabet
+	counts map[string]int
+	total  int
 }
 
 func (u *unknownLabelSource) Next() (docstream.Event, error) {
 	e, err := u.src.Next()
-	if err == nil && !u.alpha.Contains(e.Label) {
-		if u.count == 0 {
-			u.example = e.Label
-		}
-		u.count++
+	if err == nil && e.OutOfAlphabet(u.alpha) {
+		u.counts[e.Label]++
+		u.total++
 	}
 	return e, err
+}
+
+// report prints one deduplicated summary of the out-of-alphabet traffic: the
+// event total, the distinct labels (most frequent first), and a reminder
+// that such events are uniformly rejected.
+func (u *unknownLabelSource) report(w io.Writer) {
+	if u == nil || u.total == 0 {
+		return
+	}
+	labels := make([]string, 0, len(u.counts))
+	for l := range u.counts {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if u.counts[labels[i]] != u.counts[labels[j]] {
+			return u.counts[labels[i]] > u.counts[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	const maxListed = 8
+	listed := labels
+	if len(listed) > maxListed {
+		listed = listed[:maxListed]
+	}
+	parts := make([]string, len(listed))
+	for i, l := range listed {
+		parts[i] = fmt.Sprintf("%q×%d", l, u.counts[l])
+	}
+	suffix := ""
+	if len(labels) > maxListed {
+		suffix = fmt.Sprintf(", … %d more", len(labels)-maxListed)
+	}
+	fmt.Fprintf(w,
+		"nwquery: warning: %d events carried %d distinct labels missing from -labels (%s%s); queries treat them as out-of-alphabet and reject\n",
+		u.total, len(labels), strings.Join(parts, ", "), suffix)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwquery:", err)
+	os.Exit(1)
 }
 
 func readAll(r io.Reader) string {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nwquery:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	return string(data)
 }

@@ -2,8 +2,9 @@
 // the SAX event stream of an XML-like document is already a nested word, so
 // validation and querying run in a single streaming pass with memory bounded
 // by the document depth — no tree needs to be built.  The engine package
-// extends the argument from one query to many: every registered query is
-// answered by the same single pass.
+// extends the argument from one query to many, and — through the compiled
+// query API — from deterministic automata to nondeterministic ones: every
+// registered query.Query is answered by the same single pass.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"repro/internal/alphabet"
 	"repro/internal/docstream"
 	"repro/internal/engine"
+	"repro/internal/nwa"
 	"repro/internal/query"
 )
 
@@ -25,6 +27,41 @@ const document = `
 
 const brokenDocument = `<catalog> <book> <title> dangling </book> </catalog>`
 
+// containsNNWA builds a deliberately nondeterministic automaton for "some
+// position carries the given label": it guesses the witnessing position.
+// The engine runs its compiled state-set runner next to the deterministic
+// ones through the same query.Runner interface.
+func containsNNWA(alpha *alphabet.Alphabet, label string) *nwa.NNWA {
+	a := nwa.NewNNWA(alpha, 2)
+	const searching, found = 0, 1
+	a.AddStart(searching)
+	a.AddAccept(found)
+	both := []int{searching, found}
+	for _, sym := range alpha.Symbols() {
+		// searching keeps looking at every position kind...
+		a.AddInternal(searching, sym, searching)
+		a.AddCall(searching, sym, searching, searching)
+		for _, hier := range both {
+			a.AddReturn(searching, hier, sym, searching)
+		}
+		// ...and may guess this position as the witness.
+		if sym == label {
+			a.AddInternal(searching, sym, found)
+			a.AddCall(searching, sym, found, searching)
+			for _, hier := range both {
+				a.AddReturn(searching, hier, sym, found)
+			}
+		}
+		// found is absorbing.
+		a.AddInternal(found, sym, found)
+		a.AddCall(found, sym, found, found)
+		for _, hier := range both {
+			a.AddReturn(found, hier, sym, found)
+		}
+	}
+	return a
+}
+
 func main() {
 	doc, err := docstream.Parse(document)
 	if err != nil {
@@ -36,14 +73,16 @@ func main() {
 
 	alpha := alphabet.New(append(doc.Alphabet(), "missing")...)
 
-	// One engine, four queries, one pass: the tokenizer feeds the reader's
-	// events straight into the per-query runners, so the memory in play is
-	// the four runner stacks — never the document.
+	// One engine, five queries — four deterministic, one nondeterministic —
+	// one pass: the interning tokenizer resolves each label to a symbol ID
+	// once, and the compiled runners index their transition tables with it,
+	// so the memory in play is the five runner stacks — never the document.
 	eng := engine.New()
-	eng.Register("well-formed", query.WellFormed(alpha))
-	eng.Register("//book//title", query.PathQuery(alpha, "book", "title"))
-	eng.Register("//report//year", query.PathQuery(alpha, "report", "year"))
-	eng.Register("'words' before '2007'", query.LinearOrder(alpha, "words", "2007"))
+	eng.MustRegister("well-formed", query.WellFormed(alpha))
+	eng.MustRegister("//book//title", query.PathQuery(alpha, "book", "title"))
+	eng.MustRegister("//report//year", query.PathQuery(alpha, "report", "year"))
+	eng.MustRegister("'words' before '2007'", query.LinearOrder(alpha, "words", "2007"))
+	eng.MustRegisterQuery("contains 'pushdown' (NNWA)", query.CompileN(containsNNWA(alpha, "pushdown")))
 
 	res, err := eng.RunReader(strings.NewReader(document))
 	if err != nil {

@@ -14,15 +14,54 @@ import (
 	"unicode"
 	"unicode/utf8"
 
+	"repro/internal/alphabet"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
 )
 
 // Event is a single SAX-style event: an element opening, an element closing,
 // or a text token.  It corresponds to one position of the nested word.
+//
+// Sym optionally carries the label already interned against a query
+// alphabet, so that N fanned-out compiled queries pay one symbol lookup per
+// event in total — at the edge, in the tokenizer — instead of one per event
+// per query.  The encoding leaves the zero value meaningful: Sym == 0 means
+// "not interned" (the state of every event built without an alphabet), and
+// otherwise Sym-1 is the compiled symbol ID — the alphabet index for known
+// labels, or the dedicated out-of-alphabet ID alphabet.Size() for labels the
+// queries have never heard of (see the query package).  Use SymID and
+// Interned rather than decoding Sym by hand, and never mix events interned
+// against different alphabets in one stream: a consumer trusts Sym relative
+// to its own alphabet (compiled symbol IDs are only meaningful there).
 type Event struct {
 	Kind  nestedword.Kind
 	Label string
+	Sym   int
+}
+
+// SymID returns the 0-based compiled symbol ID of the event against alpha:
+// the alphabet index when the label is known, alpha.Size() — the dedicated
+// out-of-alphabet ID — when it is not.  Events already interned (Sym != 0)
+// answer without touching the alphabet.
+func (e Event) SymID(alpha *alphabet.Alphabet) int {
+	if e.Sym != 0 {
+		return e.Sym - 1
+	}
+	if i, ok := alpha.Index(e.Label); ok {
+		return i
+	}
+	return alpha.Size()
+}
+
+// Interned returns a copy of the event with Sym resolved against alpha.
+func (e Event) Interned(alpha *alphabet.Alphabet) Event {
+	e.Sym = e.SymID(alpha) + 1
+	return e
+}
+
+// OutOfAlphabet reports whether the event's label lies outside alpha.
+func (e Event) OutOfAlphabet(alpha *alphabet.Alphabet) bool {
+	return e.SymID(alpha) == alpha.Size()
 }
 
 // Tokenizer reads the lightweight XML-like syntax incrementally from an
@@ -36,14 +75,27 @@ type Event struct {
 // runner or the engine package this realizes the paper's single-pass,
 // depth-bounded evaluation claim end to end.
 type Tokenizer struct {
-	r   *bufio.Reader
-	buf strings.Builder // scratch for the token currently being read
-	err error           // sticky error (io.EOF after the last token)
+	r     *bufio.Reader
+	buf   strings.Builder // scratch for the token currently being read
+	err   error           // sticky error (io.EOF after the last token)
+	alpha *alphabet.Alphabet
 }
 
-// NewTokenizer returns a tokenizer reading from r.
+// NewTokenizer returns a tokenizer reading from r.  Its events are not
+// interned (Event.Sym stays 0); use NewInterningTokenizer when the query
+// alphabet is known up front.
 func NewTokenizer(r io.Reader) *Tokenizer {
 	return &Tokenizer{r: bufio.NewReader(r)}
+}
+
+// NewInterningTokenizer returns a tokenizer that additionally resolves every
+// event's label against alpha at tokenize time, setting Event.Sym to the
+// compiled symbol ID (labels outside alpha get the dedicated out-of-alphabet
+// ID).  This pushes symbol interning to the edge of the pipeline: downstream
+// compiled runners index their transition tables directly and never look a
+// string up again.
+func NewInterningTokenizer(r io.Reader, alpha *alphabet.Alphabet) *Tokenizer {
+	return &Tokenizer{r: bufio.NewReader(r), alpha: alpha}
 }
 
 // Next returns the next event.  At the end of the input it returns io.EOF;
@@ -57,6 +109,9 @@ func (t *Tokenizer) Next() (Event, error) {
 	if err != nil {
 		t.err = err
 		return Event{}, err
+	}
+	if t.alpha != nil {
+		e = e.Interned(t.alpha)
 	}
 	return e, nil
 }

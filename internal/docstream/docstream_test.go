@@ -213,3 +213,64 @@ func TestRandomRenderRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestInterningTokenizer checks edge interning: every event of an interning
+// tokenizer carries the compiled symbol ID of its label, with labels outside
+// the alphabet mapped to the dedicated out-of-alphabet ID.
+func TestInterningTokenizer(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	tk := docstream.NewInterningTokenizer(strings.NewReader("<a> b stray </a> x"), alpha)
+	type want struct {
+		kind nestedword.Kind
+		sym  int
+		ooa  bool
+	}
+	wants := []want{
+		{nestedword.Call, 0, false},
+		{nestedword.Internal, 1, false},
+		{nestedword.Internal, 2, true},
+		{nestedword.Return, 0, false},
+		{nestedword.Internal, 2, true},
+	}
+	for i, w := range wants {
+		e, err := tk.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if e.Sym == 0 {
+			t.Fatalf("event %d (%q): not interned", i, e.Label)
+		}
+		if got := e.SymID(alpha); got != w.sym {
+			t.Errorf("event %d (%q): SymID = %d, want %d", i, e.Label, got, w.sym)
+		}
+		if e.Kind != w.kind {
+			t.Errorf("event %d (%q): kind = %v, want %v", i, e.Label, e.Kind, w.kind)
+		}
+		if got := e.OutOfAlphabet(alpha); got != w.ooa {
+			t.Errorf("event %d (%q): OutOfAlphabet = %v, want %v", i, e.Label, got, w.ooa)
+		}
+	}
+	if _, err := tk.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF at the end, got %v", err)
+	}
+}
+
+// TestSymIDWithoutInterning checks the uninterned (zero-value) fallback: a
+// plain-constructed event resolves through the alphabet map on demand.
+func TestSymIDWithoutInterning(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	e := docstream.Event{Kind: nestedword.Internal, Label: "b"}
+	if e.Sym != 0 {
+		t.Fatalf("zero-value event claims to be interned")
+	}
+	if got := e.SymID(alpha); got != 1 {
+		t.Fatalf("SymID = %d, want 1", got)
+	}
+	if got := (docstream.Event{Label: "zzz"}).SymID(alpha); got != alpha.Size() {
+		t.Fatalf("unknown label SymID = %d, want out-of-alphabet %d", got, alpha.Size())
+	}
+	interned := e.Interned(alpha)
+	if interned.Sym == 0 || interned.SymID(alpha) != 1 {
+		t.Fatalf("Interned did not resolve the symbol: %+v", interned)
+	}
+}

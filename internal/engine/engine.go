@@ -1,20 +1,24 @@
-// Package engine evaluates many compiled nested-word-automaton queries over
-// one shared event stream in a single left-to-right pass.
+// Package engine evaluates many compiled queries over one shared event
+// stream in a single left-to-right pass.
 //
 // The paper's headline systems claim (Section 3.2) is that a deterministic
 // NWA answers a document query in one streaming pass with memory bounded by
-// the document depth.  This package lifts that claim from one query to N:
-// an Engine holds N compiled DNWAs (typically built by internal/query) and a
-// Session holds one lightweight runner per query — a linear state plus a
-// stack of hierarchical states.  Events read from the source are fanned out
-// to every runner in fixed-size batches, so each query observes the same
-// single pass and the stream is never materialized; total memory is
+// the document depth.  This package lifts that claim from one query to N,
+// and from deterministic automata to nondeterministic ones: an Engine holds
+// N registered query.Query values — compiled DNWAs (query.Compile) and
+// compiled NNWAs (query.CompileN) side by side — and a Session holds one
+// query.Runner per query.  Events read from the source are interned once
+// against the engine's shared alphabet and fanned out to every runner in
+// fixed-size batches, so each query observes the same single pass, no runner
+// ever hashes a label, and the stream is never materialized; total memory is
 // O(depth · N) plus one constant-size batch buffer, independent of the
 // document length.
 //
 // Sessions are pooled: serving many documents against the same query set
 // reuses the runner state and batch buffer allocation-free, which is what a
-// production front-end answering repeated requests needs.
+// production front-end answering repeated requests needs.  All registered
+// queries must share one alphabet — that is what makes edge interning sound
+// — and Register reports duplicate names and alphabet mismatches as errors.
 package engine
 
 import (
@@ -23,9 +27,11 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/alphabet"
 	"repro/internal/docstream"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
+	"repro/internal/query"
 )
 
 // EventSource yields a document's SAX-style events one at a time.  Next
@@ -36,10 +42,13 @@ type EventSource interface {
 }
 
 // Engine is an immutable set of registered queries.  Build it once with
-// Register, then call Run (safe for concurrent use) for each document.
+// Register / RegisterQuery, then call Run (safe for concurrent use) for each
+// document.
 type Engine struct {
 	names   []string
-	queries []*nwa.DNWA
+	byName  map[string]int
+	queries []query.Query
+	alpha   *alphabet.Alphabet // shared by every registered query
 
 	batchSize int
 	workers   int
@@ -65,7 +74,7 @@ func WithBatchSize(n int) Option {
 // (default 1, i.e. sequential).  Runners are independent, so each batch can
 // be applied to disjoint runner subsets in parallel; this pays off once the
 // per-event automaton work dominates the per-batch synchronization, e.g.
-// for many queries with large product automata.
+// for many queries with large automata or nondeterministic runners.
 func WithWorkers(n int) Option {
 	return func(e *Engine) {
 		if n > 0 {
@@ -76,7 +85,7 @@ func WithWorkers(n int) Option {
 
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
-	e := &Engine{batchSize: 1024, workers: 1}
+	e := &Engine{batchSize: 1024, workers: 1, byName: make(map[string]int)}
 	for _, o := range opts {
 		o(e)
 	}
@@ -84,14 +93,52 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
-// Register adds a compiled query under a display name and returns its index
-// into Result.Verdicts.  Register must not be called concurrently with Run.
-func (e *Engine) Register(name string, q *nwa.DNWA) int {
+// RegisterQuery adds any compiled query — deterministic or nondeterministic
+// — under a display name and returns its index into Result.Verdicts.  The
+// name must be new and the query's alphabet must equal the alphabet of every
+// previously registered query (the first registration fixes it).
+// RegisterQuery must not be called concurrently with Run.
+func (e *Engine) RegisterQuery(name string, q query.Query) (int, error) {
+	if _, dup := e.byName[name]; dup {
+		return 0, fmt.Errorf("engine: query %q already registered", name)
+	}
+	if e.alpha == nil {
+		e.alpha = q.Alphabet()
+	} else if !e.alpha.Equal(q.Alphabet()) {
+		return 0, fmt.Errorf("engine: query %q uses alphabet %v, engine interns against %v",
+			name, q.Alphabet(), e.alpha)
+	}
+	e.byName[name] = len(e.queries)
 	e.names = append(e.names, name)
 	e.queries = append(e.queries, q)
 	// Sessions created for the old query set are stale; drop them.
 	e.pool = sync.Pool{New: func() any { return e.newSession() }}
-	return len(e.queries) - 1
+	return len(e.queries) - 1, nil
+}
+
+// Register compiles a deterministic NWA and registers it — the thin wrapper
+// keeping the pre-compile API working.
+func (e *Engine) Register(name string, d *nwa.DNWA) (int, error) {
+	return e.RegisterQuery(name, query.Compile(d))
+}
+
+// MustRegister is Register for statically known-good query sets; it panics
+// on duplicate names or alphabet mismatches.
+func (e *Engine) MustRegister(name string, d *nwa.DNWA) int {
+	i, err := e.Register(name, d)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// MustRegisterQuery is RegisterQuery for statically known-good query sets.
+func (e *Engine) MustRegisterQuery(name string, q query.Query) int {
+	i, err := e.RegisterQuery(name, q)
+	if err != nil {
+		panic(err)
+	}
+	return i
 }
 
 // Len returns the number of registered queries.
@@ -99,6 +146,11 @@ func (e *Engine) Len() int { return len(e.queries) }
 
 // Names returns the registered query names in index order.
 func (e *Engine) Names() []string { return append([]string(nil), e.names...) }
+
+// Alphabet returns the shared alphabet of the registered queries (nil before
+// the first registration).  Tokenizers built with it — see RunReader — emit
+// events pre-interned for the engine.
+func (e *Engine) Alphabet() *alphabet.Alphabet { return e.alpha }
 
 // Result reports one document pass: the per-query verdicts (indexed as
 // returned by Register), the number of events consumed, and the maximum
@@ -109,39 +161,12 @@ type Result struct {
 	MaxDepth int
 }
 
-// runner is the per-query streaming state: the current linear state and the
-// hierarchical states of the currently open elements.  It mirrors
-// docstream.StreamingRunner but lives inside a pooled session.
-type runner struct {
-	a     *nwa.DNWA
-	state int
-	stack []int
-}
-
-func (r *runner) feed(e docstream.Event) {
-	switch e.Kind {
-	case nestedword.Call:
-		lin, hier := r.a.StepCall(r.state, e.Label)
-		r.stack = append(r.stack, hier)
-		r.state = lin
-	case nestedword.Return:
-		hier := r.a.Start()
-		if n := len(r.stack); n > 0 {
-			hier = r.stack[n-1]
-			r.stack = r.stack[:n-1]
-		}
-		r.state = r.a.StepReturn(r.state, hier, e.Label)
-	default:
-		r.state = r.a.StepInternal(r.state, e.Label)
-	}
-}
-
 // Session is the reusable per-pass state: one runner per query plus the
 // shared batch buffer.  Obtain one with Acquire for manual event feeding, or
 // let Run manage it.
 type Session struct {
 	engine  *Engine
-	runners []runner
+	runners []query.Runner
 	batch   []docstream.Event
 	events  int
 	depth   int // shared: all runners see the same calls/returns
@@ -151,11 +176,11 @@ type Session struct {
 func (e *Engine) newSession() *Session {
 	s := &Session{
 		engine:  e,
-		runners: make([]runner, len(e.queries)),
+		runners: make([]query.Runner, len(e.queries)),
 		batch:   make([]docstream.Event, 0, e.batchSize),
 	}
 	for i, q := range e.queries {
-		s.runners[i] = runner{a: q, state: q.Start()}
+		s.runners[i] = q.NewRunner()
 	}
 	return s
 }
@@ -172,9 +197,8 @@ func (e *Engine) Acquire() *Session {
 func (e *Engine) Release(s *Session) { e.pool.Put(s) }
 
 func (s *Session) reset() {
-	for i := range s.runners {
-		s.runners[i].state = s.runners[i].a.Start()
-		s.runners[i].stack = s.runners[i].stack[:0]
+	for _, r := range s.runners {
+		r.Reset()
 	}
 	s.batch = s.batch[:0]
 	s.events, s.depth, s.max = 0, 0, 0
@@ -183,6 +207,12 @@ func (s *Session) reset() {
 // Feed buffers one event, fanning the batch out to the runners once it
 // fills.  Result flushes any buffered tail, so intermediate Result calls
 // see every event fed so far.
+//
+// Uninterned events (Sym == 0) are interned against the engine's shared
+// alphabet at flush time.  Pre-interned events are trusted as-is: they must
+// have been interned against Engine.Alphabet() (an interning tokenizer bound
+// to any other alphabet yields in-range but wrong symbol IDs, and silently
+// wrong verdicts).
 func (s *Session) Feed(e docstream.Event) {
 	s.batch = append(s.batch, e)
 	if len(s.batch) >= cap(s.batch) {
@@ -190,11 +220,36 @@ func (s *Session) Feed(e docstream.Event) {
 	}
 }
 
-// flush applies the buffered batch to every runner and updates the shared
-// depth tracking, then empties the buffer.
+// feedRunner replays the interned batch into one runner.
+func feedRunner(r query.Runner, batch []docstream.Event) {
+	for _, e := range batch {
+		sym := e.Sym - 1
+		switch e.Kind {
+		case nestedword.Call:
+			r.StepCall(sym)
+		case nestedword.Return:
+			r.StepReturn(sym)
+		default:
+			r.StepInternal(sym)
+		}
+	}
+}
+
+// flush interns the buffered batch against the shared alphabet, applies it
+// to every runner, updates the shared depth tracking, and empties the
+// buffer.
 func (s *Session) flush() {
 	if len(s.batch) == 0 {
 		return
+	}
+	// Intern once per event; sources that pre-intern (the engine's own
+	// tokenizers, generators bound to the alphabet) skip even this lookup.
+	if alpha := s.engine.alpha; alpha != nil {
+		for i := range s.batch {
+			if s.batch[i].Sym == 0 {
+				s.batch[i] = s.batch[i].Interned(alpha)
+			}
+		}
 	}
 	w := s.engine.workers
 	if w > len(s.runners) {
@@ -204,11 +259,8 @@ func (s *Session) flush() {
 		w = mp
 	}
 	if w <= 1 {
-		for i := range s.runners {
-			r := &s.runners[i]
-			for _, e := range s.batch {
-				r.feed(e)
-			}
+		for _, r := range s.runners {
+			feedRunner(r, s.batch)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -219,13 +271,10 @@ func (s *Session) flush() {
 				hi = len(s.runners)
 			}
 			wg.Add(1)
-			go func(rs []runner) {
+			go func(rs []query.Runner) {
 				defer wg.Done()
-				for i := range rs {
-					r := &rs[i]
-					for _, e := range s.batch {
-						r.feed(e)
-					}
+				for _, r := range rs {
+					feedRunner(r, s.batch)
 				}
 			}(s.runners[lo:hi])
 		}
@@ -259,8 +308,8 @@ func (s *Session) Result() *Result {
 		Events:   s.events,
 		MaxDepth: s.max,
 	}
-	for i := range s.runners {
-		res.Verdicts[i] = s.runners[i].a.IsAccepting(s.runners[i].state)
+	for i, r := range s.runners {
+		res.Verdicts[i] = r.Accepting()
 	}
 	return res
 }
@@ -288,23 +337,29 @@ func (e *Engine) Run(src EventSource) (*Result, error) {
 	return s.Result(), nil
 }
 
-// RunReader tokenizes the reader and runs the pass — the end-to-end
+// RunReader tokenizes the reader — interning every label against the
+// engine's shared alphabet at the edge — and runs the pass: the end-to-end
 // streaming path from raw bytes to verdicts.
 func (e *Engine) RunReader(r io.Reader) (*Result, error) {
-	return e.Run(docstream.NewTokenizer(r))
+	if e.alpha == nil {
+		return e.Run(docstream.NewTokenizer(r))
+	}
+	return e.Run(docstream.NewInterningTokenizer(r, e.alpha))
 }
 
-// RunEvents runs the pass over an in-memory event slice.
+// RunEvents runs the pass over an in-memory event slice.  Events carrying a
+// pre-interned Sym must have been interned against Engine.Alphabet(); see
+// Session.Feed.
 func (e *Engine) RunEvents(events []docstream.Event) (*Result, error) {
 	return e.Run(&sliceSource{events: events})
 }
 
-// Verdict looks up a query's verdict by name.
+// Verdict looks up a query's verdict by name through the engine's name
+// index.
 func (r *Result) Verdict(e *Engine, name string) (bool, error) {
-	for i, n := range e.names {
-		if n == name {
-			return r.Verdicts[i], nil
-		}
+	i, ok := e.byName[name]
+	if !ok {
+		return false, fmt.Errorf("engine: no query named %q", name)
 	}
-	return false, fmt.Errorf("engine: no query named %q", name)
+	return r.Verdicts[i], nil
 }

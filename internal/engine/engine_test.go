@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"strings"
@@ -190,6 +191,142 @@ func TestRunReader(t *testing.T) {
 	}
 	if _, err := res.Verdict(eng, "nope"); err == nil {
 		t.Fatalf("Verdict of an unknown name should fail")
+	}
+}
+
+// TestRegisterErrors checks the registration invariants: duplicate names and
+// alphabet mismatches are rejected, and a rejected registration leaves the
+// engine unchanged.
+func TestRegisterErrors(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	other := alphabet.New("a", "b", "c")
+	eng := engine.New()
+	if _, err := eng.Register("well-formed", query.WellFormed(alpha)); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	if _, err := eng.Register("well-formed", query.ContainsLabel(alpha, "a")); err == nil {
+		t.Fatal("duplicate query name was accepted")
+	}
+	if _, err := eng.Register("other-alphabet", query.WellFormed(other)); err == nil {
+		t.Fatal("query over a different alphabet was accepted")
+	}
+	if _, err := eng.RegisterQuery("nnwa-other-alphabet",
+		query.CompileN(query.WellFormed(other).ToNondeterministic())); err == nil {
+		t.Fatal("NNWA query over a different alphabet was accepted")
+	}
+	if eng.Len() != 1 {
+		t.Fatalf("failed registrations changed the engine: Len = %d, want 1", eng.Len())
+	}
+	if !eng.Alphabet().Equal(alpha) {
+		t.Fatalf("engine alphabet = %v, want %v", eng.Alphabet(), alpha)
+	}
+}
+
+// randomNNWA builds a small random nondeterministic NWA over alpha.
+func randomNNWA(rng *rand.Rand, alpha *alphabet.Alphabet, states int) *nwa.NNWA {
+	a := nwa.NewNNWA(alpha, states)
+	a.AddStart(rng.Intn(states))
+	a.AddAccept(rng.Intn(states))
+	syms := alpha.Symbols()
+	edges := 4 + rng.Intn(6*states)
+	for i := 0; i < edges; i++ {
+		sym := syms[rng.Intn(len(syms))]
+		switch rng.Intn(3) {
+		case 0:
+			a.AddInternal(rng.Intn(states), sym, rng.Intn(states))
+		case 1:
+			a.AddCall(rng.Intn(states), sym, rng.Intn(states), rng.Intn(states))
+		default:
+			a.AddReturn(rng.Intn(states), rng.Intn(states), sym, rng.Intn(states))
+		}
+	}
+	return a
+}
+
+// TestNNWAQueriesInEngine is the ISSUE's NNWA-in-engine differential: each
+// nondeterministic query is registered twice — as a compiled NNWA state-set
+// runner and as its determinization compiled to a DNWA runner — and ≥1000
+// random nested words (including words with pending calls and returns) must
+// get identical verdicts from both, in the same fan-out pass.
+func TestNNWAQueriesInEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	alpha := alphabet.New("a", "b")
+	eng := engine.New(engine.WithBatchSize(32))
+	const automata = 4
+	for i := 0; i < automata; i++ {
+		a := randomNNWA(rng, alpha, 2+rng.Intn(3))
+		eng.MustRegisterQuery(fmt.Sprintf("nnwa-%d", i), query.CompileN(a))
+		eng.MustRegister(fmt.Sprintf("det-%d", i), a.Determinize())
+	}
+	labels := []string{"a", "b"}
+	const trials = 1100
+	pending := 0
+	for trial := 0; trial < trials; trial++ {
+		n := generator.RandomNestedWord(rng, rng.Intn(40), labels)
+		if trial%3 == 0 {
+			n = generator.RandomDocument(rng, 2+rng.Intn(40), 5, labels)
+		}
+		if !n.IsWellMatched() {
+			pending++
+		}
+		res, err := eng.Run(engine.Word(n))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < automata; i++ {
+			nv, _ := res.Verdict(eng, fmt.Sprintf("nnwa-%d", i))
+			dv, _ := res.Verdict(eng, fmt.Sprintf("det-%d", i))
+			if nv != dv {
+				t.Fatalf("trial %d, automaton %d: NNWA runner %v, Determinize+DNWA %v on %v",
+					trial, i, nv, dv, n)
+			}
+		}
+	}
+	if pending == 0 {
+		t.Fatal("no words with pending calls/returns were generated")
+	}
+}
+
+// TestCompiledSessionAllocationFree is the ISSUE's bounded-allocation check:
+// once warm, a compiled-DNWA session processes events without allocating —
+// the only allocations in a pass are the constant-size Result snapshot.
+func TestCompiledSessionAllocationFree(t *testing.T) {
+	alpha := alphabet.New("a", "b", "c")
+	names, queries := testQueries(alpha)
+	eng := engine.New()
+	for i, q := range queries {
+		eng.MustRegister(names[i], q)
+	}
+	// Pre-interned in-memory events, as an edge tokenizer would hand over.
+	const size = 20000
+	src := generator.NewDocumentStream(5, size, 16, []string{"a", "b", "c"})
+	var events []docstream.Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e.Interned(alpha))
+	}
+	s := eng.Acquire()
+	defer eng.Release(s)
+	feed := func() {
+		for _, e := range events {
+			s.Feed(e)
+		}
+		if s.Result() == nil {
+			t.Fatal("nil result")
+		}
+	}
+	feed() // warm-up: grows the runner stacks and the batch buffer
+	allocs := testing.AllocsPerRun(5, feed)
+	// Result() allocates its snapshot (a Result and a Verdicts slice); the
+	// per-event path must contribute nothing on top of that.
+	if allocs > 4 {
+		t.Fatalf("warm compiled session allocates %v objects per %d-event pass, want ≤ 4", allocs, len(events))
 	}
 }
 

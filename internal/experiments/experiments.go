@@ -634,7 +634,7 @@ func E21MultiQueryStreaming(size, maxDepth int) Table {
 		names, queries := E21Queries(alpha, n)
 		eng := engine.New()
 		for i, q := range queries {
-			eng.Register(names[i], q)
+			eng.MustRegister(names[i], q)
 		}
 		stream := func() *generator.DocumentStream {
 			return generator.NewDocumentStream(e21Seed, size, maxDepth, e21Labels)
@@ -713,6 +713,99 @@ func E21MultiQueryStreaming(size, maxDepth int) Table {
 	}
 }
 
+// E22CompiledVsMap measures the compiled query API against the map-backed
+// automaton representation on multi-query fan-out: the same single pass over
+// the same generated document drives N queries either as compiled runners
+// inside the engine (dense transition tables indexed by interned symbol IDs,
+// one label→ID lookup per event in total) or as N map-keyed
+// docstream.StreamingRunner instances (one map lookup per event per query,
+// the pre-compile hot path E21 showed dominating throughput).  Both sides
+// must agree on every verdict; the speedup column is the reproduction's
+// evidence that the compile step pays for itself.
+func E22CompiledVsMap(size, maxDepth int) Table {
+	alpha := alphabet.New(e21Labels...)
+	rows := [][]string{}
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		names, queries := E21Queries(alpha, n)
+		eng := engine.New()
+		for i, q := range queries {
+			eng.MustRegister(names[i], q)
+		}
+		stream := func() *generator.DocumentStream {
+			return generator.NewDocumentStream(e21Seed, size, maxDepth, e21Labels)
+		}
+		// Warm-up pass so the timed passes reuse a pooled session.
+		if _, err := eng.Run(stream()); err != nil {
+			panic(err)
+		}
+		const reps = 3
+		var res *engine.Result
+		var compiled time.Duration
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			r, err := eng.Run(stream())
+			d := time.Since(t0)
+			if err != nil {
+				panic(err)
+			}
+			if rep == 0 || d < compiled {
+				res, compiled = r, d
+			}
+		}
+
+		// Map-backed baseline: the identical single pass, but every query
+		// steps its source DNWA through the (state, label-string) maps.
+		var mapped time.Duration
+		mapVerdicts := make([]bool, len(queries))
+		for rep := 0; rep < reps; rep++ {
+			runners := make([]*docstream.StreamingRunner, len(queries))
+			for i, q := range queries {
+				runners[i] = docstream.NewStreamingRunner(q)
+			}
+			src := stream()
+			t0 := time.Now()
+			for {
+				e, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					panic(err)
+				}
+				for _, r := range runners {
+					r.Feed(e)
+				}
+			}
+			if d := time.Since(t0); rep == 0 || d < mapped {
+				mapped = d
+				for i, r := range runners {
+					mapVerdicts[i] = r.Accepting()
+				}
+			}
+		}
+
+		agree := true
+		for i := range mapVerdicts {
+			if mapVerdicts[i] != res.Verdicts[i] {
+				agree = false
+			}
+		}
+		perEvent := func(d time.Duration) string {
+			return ftoa(float64(d.Nanoseconds()) / float64(res.Events))
+		}
+		rows = append(rows, []string{
+			itoa(n), itoa(res.Events),
+			perEvent(compiled), perEvent(mapped),
+			ftoa(float64(mapped) / float64(compiled)), btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E22 (query API): compiled dense tables + interned symbols vs map-keyed Step*, same single pass",
+		Header: []string{"queries", "events", "compiled ns/ev", "map ns/ev", "speedup", "agree"},
+		Rows:   rows,
+	}
+}
+
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
 	return []Table{
@@ -736,6 +829,7 @@ func All() []Table {
 		E19DecisionProcedures(),
 		E20Streaming(),
 		E21MultiQueryStreaming(200000, 32),
+		E22CompiledVsMap(200000, 32),
 	}
 }
 

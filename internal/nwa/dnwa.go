@@ -281,6 +281,37 @@ func (d *DNWA) CallTransitions() map[callKey]callTarget {
 	return out
 }
 
+// EachCall calls f for every defined call transition δc(state, sym) =
+// (linear, hier), with sym given as an alphabet index.  Transitions not
+// visited go to the dead state.  It is the iteration hook used by
+// query.Compile to build dense transition tables.
+func (d *DNWA) EachCall(f func(state, sym, linear, hier int)) {
+	for k, t := range d.callT {
+		f(k.state, k.sym, t.Linear, t.Hier)
+	}
+}
+
+// EachInternal calls f for every defined internal transition
+// δi(state, sym) = to, with sym given as an alphabet index.
+func (d *DNWA) EachInternal(f func(state, sym, to int)) {
+	for k, t := range d.internT {
+		f(k.state, k.sym, t)
+	}
+}
+
+// EachReturn calls f for every defined return transition
+// δr(lin, hier, sym) = to, with sym given as an alphabet index.
+func (d *DNWA) EachReturn(f func(lin, hier, sym, to int)) {
+	for k, t := range d.returnT {
+		f(k.lin, k.hier, k.sym, t)
+	}
+}
+
+// NumReturnTransitions returns the number of explicitly defined return
+// transitions (the rest go to the dead state).  query.Compile uses it to
+// choose between the dense and sparse compiled forms.
+func (d *DNWA) NumReturnTransitions() int { return len(d.returnT) }
+
 // ToNondeterministic converts the deterministic automaton to an equivalent
 // nondeterministic one.
 func (d *DNWA) ToNondeterministic() *NNWA {

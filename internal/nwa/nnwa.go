@@ -142,6 +142,46 @@ func (n *NNWA) ReturnSuccessors(lin, hier int, sym string) []int {
 	return n.returnR[returnKey{lin, hier, s}]
 }
 
+// EachCall calls f for every call transition (state, sym, linear, hier) in
+// δc, with sym given as an alphabet index.  Like the DNWA iterators it is the
+// hook query.CompileN uses to build indexed adjacency tables.
+func (n *NNWA) EachCall(f func(state, sym, linear, hier int)) {
+	for k, targets := range n.callR {
+		for _, t := range targets {
+			f(k.state, k.sym, t.Linear, t.Hier)
+		}
+	}
+}
+
+// EachInternal calls f for every internal transition (state, sym, to) in δi,
+// with sym given as an alphabet index.
+func (n *NNWA) EachInternal(f func(state, sym, to int)) {
+	for k, targets := range n.internR {
+		for _, t := range targets {
+			f(k.state, k.sym, t)
+		}
+	}
+}
+
+// EachReturn calls f for every return transition (lin, hier, sym, to) in δr,
+// with sym given as an alphabet index.
+func (n *NNWA) EachReturn(f func(lin, hier, sym, to int)) {
+	for k, targets := range n.returnR {
+		for _, t := range targets {
+			f(k.lin, k.hier, k.sym, t)
+		}
+	}
+}
+
+// NumReturnTransitions returns the number of return transitions in δr.
+func (n *NNWA) NumReturnTransitions() int {
+	total := 0
+	for _, targets := range n.returnR {
+		total += len(targets)
+	}
+	return total
+}
+
 func sortedStates(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
 	for q, v := range m {

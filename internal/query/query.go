@@ -1,7 +1,10 @@
-// Package query compiles document queries into deterministic nested word
-// automata, following the paper's motivation: queries that mix the linear
-// order of a document with its hierarchical structure are awkward for tree
-// automata but natural for nested word automata.
+// Package query builds document queries as nested word automata and
+// compiles them for streaming evaluation, following the paper's motivation:
+// queries that mix the linear order of a document with its hierarchical
+// structure are awkward for tree automata but natural for nested word
+// automata.
+//
+// # Query constructors
 //
 // The package provides three families of queries over documents (well-matched
 // nested words whose calls/returns are element tags and whose internals are
@@ -14,8 +17,34 @@
 //     the given label sequence (a descendant-axis XPath skeleton);
 //   - well-formedness and matched-tag validation.
 //
-// All queries compile to DNWAs, so they compose under the boolean operations
+// All constructors build DNWAs, so they compose under the boolean operations
 // of the nwa package and run in a single streaming pass.
+//
+// # Compiled queries: map-backed vs table-backed automata
+//
+// The nwa package keeps transitions in maps keyed by (state, symbol-string)
+// — the right representation for the paper's constructions, where very large
+// automata (the s^s-state bottom-up conversions, determinizations) only pay
+// for the transitions they define.  It is the wrong representation for the
+// serving hot path: experiment E21 showed the per-event map lookups of
+// DNWA.Step* dominating multi-query fan-out throughput.
+//
+// Compile (for DNWAs) and CompileN (for NNWAs) therefore flatten an
+// automaton once, ahead of the stream, into an immutable compiled form whose
+// call/internal/return transitions live in flat dense slices indexed by
+// state*numSymbols+sym.  Because the return index is quadratic in the number
+// of states, its table is dense only while numStates²·numSymbols stays under
+// a threshold (denseReturnLimit, 2²² entries ≈ 16 MiB of int32); larger
+// automata fall back to a key-sorted sparse table probed by binary search.
+// Symbols are interned integer IDs with one dedicated out-of-alphabet ID, so
+// unknown document labels take the same indexed path as known ones (see
+// compiled.go and docstream.NewInterningTokenizer).  Experiment E22 measures
+// the compiled path against the map-backed one.
+//
+// Both compiled forms implement Query — mint a Runner per concurrent pass —
+// which is what the engine package registers and fans out: deterministic
+// runners step one state, nondeterministic ones run the subset-of-pairs
+// simulation with one summary set per stack frame.
 package query
 
 import (
