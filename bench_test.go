@@ -1,6 +1,6 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment (E1..E22, excluding E18 which was not implemented — see
-// DESIGN.md).  Each benchmark recomputes its experiment's
+// per experiment (E1..E23, excluding E18 which was not implemented — see
+// docs/EXPERIMENTS.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
 // print the tables themselves.
@@ -152,6 +152,12 @@ func BenchmarkE22_CompiledVsMap(b *testing.B) {
 	}
 }
 
+func BenchmarkE23_ShardedServing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E23ShardedServing(100, 2000))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -235,6 +241,12 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e22.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E22: compiled verdicts diverge from map-backed runners on row %v", row)
+		}
+	}
+	e23 := experiments.E23ShardedServing(60, 1000)
+	for _, row := range e23.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E23: pool or naive fan-out verdicts diverge from serial on row %v", row)
 		}
 	}
 }

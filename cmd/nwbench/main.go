@@ -1,7 +1,9 @@
-// Command nwbench regenerates every experiment table of EXPERIMENTS.md —
-// one per theorem, lemma, or figure of "Marrying Words and Trees" — and
-// prints them with wall-clock timings.  The same computations are exposed as
-// Go benchmarks in the repository root (go test -bench=.).
+// Command nwbench regenerates every experiment table of docs/EXPERIMENTS.md
+// — one per theorem, lemma, or figure of "Marrying Words and Trees", plus
+// the engineering experiments of the serving stack — and prints them with
+// wall-clock timings.  The same computations are exposed as Go benchmarks in
+// the repository root (go test -bench=.).  Run with -list to print the
+// one-line summary of each experiment instead of computing anything.
 package main
 
 import (
@@ -14,7 +16,15 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use smaller parameter ranges for a fast smoke run")
+	list := flag.Bool("list", false, "print one line per experiment (the docs/EXPERIMENTS.md summaries) and exit")
 	flag.Parse()
+
+	if *list {
+		for _, info := range experiments.Index() {
+			fmt.Printf("%-5s %s\n", info.ID, info.Summary)
+		}
+		return
+	}
 
 	type entry struct {
 		name string
@@ -42,6 +52,7 @@ func main() {
 		{"E20", experiments.E20Streaming},
 		{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(1000000, 32) }},
 		{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(1000000, 32) }},
+		{"E23", func() experiments.Table { return experiments.E23ShardedServing(200, 5000) }},
 	}
 	entries := full
 	if *quick {
@@ -54,6 +65,7 @@ func main() {
 			{"E15", experiments.E15MembershipNPReduction},
 			{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(100000, 24) }},
 			{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(100000, 24) }},
+			{"E23", func() experiments.Table { return experiments.E23ShardedServing(50, 1000) }},
 		}
 	}
 

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	file := flag.String("file", "", "document file (default: standard input)")
-	labelsFlag := flag.String("labels", "", "comma-separated document alphabet (enables the fully streaming path)")
+	labelsFlag := flag.String("labels", "", "comma-separated document alphabet: labels are interned to compiled symbol IDs at the tokenizer and the engine streams the input directly (labels not listed map to the out-of-alphabet ID and are uniformly rejected); without -labels the document is buffered once to discover the alphabet")
 	order := flag.String("order", "", "comma-separated labels for a linear-order query")
 	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
 	flag.Parse()

@@ -1,0 +1,246 @@
+// Command nwserve serves many XML-like documents through a sharded
+// serve.Pool against one compiled query set, and reports aggregate verdicts
+// and throughput — the multi-document counterpart of cmd/nwquery's
+// single-document pass.
+//
+// Usage:
+//
+//	nwserve [-labels l1,l2,...] [-order l1,l2,...] [-path l1,l2,...]
+//	        [-shards n] [-queue n] [-affinity hash|none]
+//	        [-dir directory] [file ...]
+//
+// Documents come from the positional file arguments and every regular file
+// under -dir; with neither, standard input is read as a stream of documents
+// separated by lines containing only "---".  Each document is hashed by its
+// name (file path, or stdin ordinal) to a shard — use -affinity none to
+// round-robin instead — and evaluated against the registered queries in one
+// pass: well-formedness always, plus the -order and -path queries when
+// given.
+//
+// The query automata need the document alphabet up front.  Pass it with
+// -labels (labels are interned to compiled symbol IDs at the tokenizer;
+// labels not listed map to the dedicated out-of-alphabet ID and are
+// uniformly rejected); without -labels every document is tokenized once
+// before serving to discover the alphabet.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/serve"
+)
+
+func main() {
+	labelsFlag := flag.String("labels", "", "comma-separated document alphabet; without it, documents are tokenized once up front to discover the labels")
+	order := flag.String("order", "", "comma-separated labels for a linear-order query")
+	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
+	dir := flag.String("dir", "", "serve every regular file under this directory")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of pool shards (worker sessions)")
+	queue := flag.Int("queue", 64, "bounded queue depth per shard (backpressure)")
+	affinityFlag := flag.String("affinity", "hash", "document-to-shard routing: hash (by document name) or none (round-robin)")
+	flag.Parse()
+
+	affinity, err := serve.ParseAffinity(*affinityFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	docs, err := collectDocuments(*dir, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(docs) == 0 {
+		fatal(fmt.Errorf("no documents to serve"))
+	}
+
+	labels := splitLabels(*labelsFlag)
+	labels = append(labels, splitLabels(*order)...)
+	labels = append(labels, splitLabels(*path)...)
+	if *labelsFlag == "" {
+		// Discovery pass: tokenize every document once, collecting labels.
+		seen := map[string]bool{}
+		for _, l := range labels {
+			seen[l] = true
+		}
+		for _, d := range docs {
+			events, err := docstream.Tokenize(string(d.body))
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", d.name, err))
+			}
+			for _, e := range events {
+				if !seen[e.Label] {
+					seen[e.Label] = true
+					labels = append(labels, e.Label)
+				}
+			}
+		}
+	}
+	alpha := alphabet.New(labels...)
+
+	eng := engine.New()
+	register := func(name string, q *query.Compiled) {
+		if _, err := eng.RegisterQuery(name, q); err != nil {
+			fatal(err)
+		}
+	}
+	register("well-formed", query.Compile(query.WellFormed(alpha)))
+	if *order != "" {
+		register("order "+*order, query.Compile(query.LinearOrder(alpha, splitLabels(*order)...)))
+	}
+	if *path != "" {
+		register("path //"+strings.ReplaceAll(*path, ",", "//"),
+			query.Compile(query.PathQuery(alpha, splitLabels(*path)...)))
+	}
+
+	// Aggregate on the shard workers through the callback, so no future
+	// bookkeeping grows with the corpus.
+	var mu sync.Mutex
+	accepted := make([]int, eng.Len())
+	var failures []string
+	pool, err := serve.NewPool(eng,
+		serve.WithShards(*shards),
+		serve.WithQueueDepth(*queue),
+		serve.WithAffinity(affinity),
+		serve.WithOnResult(func(r serve.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if r.Err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", r.ID, r.Err))
+				return
+			}
+			for i, v := range r.Engine.Verdicts {
+				if v {
+					accepted[i]++
+				}
+			}
+		}))
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	for _, d := range docs {
+		if _, err := pool.Submit(context.Background(), d.name, bytes.NewReader(d.body)); err != nil {
+			fatal(err)
+		}
+	}
+	if err := pool.Close(); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	fmt.Printf("served %d documents (%d events) on %d shards (affinity %s) in %v\n",
+		st.Served, st.Events, pool.Shards(), affinity, elapsed.Round(time.Microsecond))
+	if secs := elapsed.Seconds(); secs > 0 {
+		fmt.Printf("throughput: %.0f docs/s, %.2f Mev/s\n",
+			float64(st.Served)/secs, float64(st.Events)/secs/1e6)
+	}
+	for i, name := range eng.Names() {
+		fmt.Printf("%-30s : %d/%d documents\n", name, accepted[i], st.Served-st.Failed)
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		fmt.Fprintf(os.Stderr, "nwserve: %d documents failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+}
+
+// document is one unit of work: a display name (the routing key under hash
+// affinity) and the raw bytes.
+type document struct {
+	name string
+	body []byte
+}
+
+// collectDocuments gathers documents from explicit file arguments, a
+// directory, or — when neither is given — standard input split on "---"
+// separator lines.
+func collectDocuments(dir string, files []string) ([]document, error) {
+	var docs []document
+	for _, f := range files {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, document{name: f, body: body})
+	}
+	if dir != "" {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			body, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			docs = append(docs, document{name: path, body: body})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(docs) > 0 {
+		return docs, nil
+	}
+	// Standard input: documents separated by lines containing only "---".
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var cur bytes.Buffer
+	n := 0
+	emit := func() {
+		if strings.TrimSpace(cur.String()) != "" {
+			docs = append(docs, document{name: fmt.Sprintf("stdin-%d", n), body: append([]byte(nil), cur.Bytes()...)})
+			n++
+		}
+		cur.Reset()
+	}
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "---" {
+			emit()
+			continue
+		}
+		cur.Write(sc.Bytes())
+		cur.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	emit()
+	return docs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwserve:", err)
+	os.Exit(1)
+}
+
+func splitLabels(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if trimmed := strings.TrimSpace(p); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}

@@ -98,6 +98,21 @@ func NewInterningTokenizer(r io.Reader, alpha *alphabet.Alphabet) *Tokenizer {
 	return &Tokenizer{r: bufio.NewReader(r), alpha: alpha}
 }
 
+// Reset repoints the tokenizer at a new input, clearing any sticky error
+// while keeping its buffered-reader allocation and alphabet binding.  A
+// long-lived consumer serving one document after another — a serve.Pool
+// shard worker holds exactly one interning tokenizer — tokenizes every
+// document allocation-free after the first.
+func (t *Tokenizer) Reset(r io.Reader) {
+	if t.r == nil {
+		t.r = bufio.NewReader(r)
+	} else {
+		t.r.Reset(r)
+	}
+	t.err = nil
+	t.buf.Reset()
+}
+
 // Next returns the next event.  At the end of the input it returns io.EOF;
 // any other error is a syntax or read error.  After a non-nil error every
 // subsequent call returns the same error.

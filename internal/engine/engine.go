@@ -185,18 +185,23 @@ func (e *Engine) newSession() *Session {
 	return s
 }
 
-// Acquire takes a reset session from the pool.  Call Release when done to
-// make its allocations available to the next pass.
+// Acquire checks a reset session out of the pool.  Call Release when done to
+// make its allocations available to the next pass.  A long-lived owner — a
+// serve.Pool shard worker, say — may instead keep the session checked out
+// across many documents, calling Reset between them, and Release only at
+// shutdown.
 func (e *Engine) Acquire() *Session {
 	s := e.pool.Get().(*Session)
-	s.reset()
+	s.Reset()
 	return s
 }
 
 // Release returns a session to the pool.
 func (e *Engine) Release(s *Session) { e.pool.Put(s) }
 
-func (s *Session) reset() {
+// Reset returns the session to the start of a new document, keeping every
+// runner and buffer allocation.  Sessions from Acquire are already reset.
+func (s *Session) Reset() {
 	for _, r := range s.runners {
 		r.Reset()
 	}
@@ -314,12 +319,12 @@ func (s *Session) Result() *Result {
 	return res
 }
 
-// Run streams the whole source through a pooled session: every registered
-// query is evaluated in the same single pass, and the event stream is never
-// stored.  It is safe to call concurrently; each call uses its own session.
-func (e *Engine) Run(src EventSource) (*Result, error) {
-	s := e.Acquire()
-	defer e.Release(s)
+// Run streams the whole source through this session: every registered query
+// is evaluated in the same single pass, and the event stream is never
+// stored.  The session must be at the start of a document (fresh from
+// Acquire, or Reset by its owner); on error the session is left mid-stream
+// and must be Reset before reuse.
+func (s *Session) Run(src EventSource) (*Result, error) {
 	for {
 		ev, err := src.Next()
 		if err == io.EOF {
@@ -335,6 +340,15 @@ func (e *Engine) Run(src EventSource) (*Result, error) {
 	}
 	s.flush()
 	return s.Result(), nil
+}
+
+// Run streams the whole source through a pooled session: every registered
+// query is evaluated in the same single pass, and the event stream is never
+// stored.  It is safe to call concurrently; each call uses its own session.
+func (e *Engine) Run(src EventSource) (*Result, error) {
+	s := e.Acquire()
+	defer e.Release(s)
+	return s.Run(src)
 }
 
 // RunReader tokenizes the reader — interning every label against the

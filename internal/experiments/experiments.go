@@ -1,15 +1,20 @@
 // Package experiments computes the rows of every experiment listed in
-// DESIGN.md and EXPERIMENTS.md: each function reproduces one theorem, lemma,
-// or figure of "Marrying Words and Trees" on the concrete instance families
-// from the internal/generator package and returns a printable table.  The
-// root bench_test.go times these computations and cmd/nwbench prints them.
+// docs/EXPERIMENTS.md: each function reproduces one theorem, lemma, or
+// figure of "Marrying Words and Trees" — or one engineering claim of the
+// serving stack built on top of the reproduction — on the concrete instance
+// families from the internal/generator package and returns a printable
+// table.  The root bench_test.go times these computations and cmd/nwbench
+// prints them; Index carries the one-line summary of each experiment shared
+// by `nwbench -list` and the documentation.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/alphabet"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/pta"
 	"repro/internal/query"
 	"repro/internal/sat"
+	"repro/internal/serve"
 	"repro/internal/tree"
 	"repro/internal/treeauto"
 	"repro/internal/word"
@@ -806,6 +812,189 @@ func E22CompiledVsMap(size, maxDepth int) Table {
 	}
 }
 
+// E23ShardedServing measures the serve package's multi-document layer: a
+// corpus of generated documents, pre-interned against the engine alphabet,
+// is answered by the same 8-query engine three ways — serially (one
+// engine.Run per document on one goroutine), by a naive goroutine-per-
+// document fan-out (unbounded concurrency, sessions from the engine pool),
+// and through a serve.Pool at 1–16 shards (bounded queues, one checked-out
+// session and one reusable tokenizer per shard).  Every mode must produce
+// identical verdict sets; the speedup columns report corpus wall-clock
+// against the serial baseline.  Throughput scales with GOMAXPROCS — on a
+// single-core machine all three modes collapse to the same automaton
+// work, which is exactly the point: the pool adds sharding without adding
+// per-document overhead.
+func E23ShardedServing(docs, size int) Table {
+	alpha := alphabet.New(e21Labels...)
+	names, queries := E21Queries(alpha, 8)
+	eng := engine.New()
+	for i, q := range queries {
+		eng.MustRegister(names[i], q)
+	}
+	// Materialize and intern the corpus once, so every serving mode measures
+	// automaton work rather than document generation.
+	corpus := make([][]docstream.Event, docs)
+	totalEvents := 0
+	for d := range corpus {
+		stream := generator.NewDocumentStream(int64(e21Seed+d), size, 24, e21Labels)
+		for {
+			e, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				panic(err)
+			}
+			corpus[d] = append(corpus[d], e.Interned(alpha))
+		}
+		totalEvents += len(corpus[d])
+	}
+	const reps = 3
+
+	// Serial baseline: one pass per document, one goroutine.
+	serialVerdicts := make([][]bool, docs)
+	var serial time.Duration
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		for d := range corpus {
+			r, err := eng.RunEvents(corpus[d])
+			if err != nil {
+				panic(err)
+			}
+			if rep == 0 {
+				serialVerdicts[d] = r.Verdicts
+			}
+		}
+		if dd := time.Since(t0); rep == 0 || dd < serial {
+			serial = dd
+		}
+	}
+
+	// Naive fan-out: one goroutine per document, concurrency unbounded.
+	var naive time.Duration
+	naiveAgree := true
+	for rep := 0; rep < reps; rep++ {
+		verdicts := make([][]bool, docs)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for d := range corpus {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				r, err := eng.RunEvents(corpus[d])
+				if err != nil {
+					panic(err)
+				}
+				verdicts[d] = r.Verdicts
+			}(d)
+		}
+		wg.Wait()
+		if dd := time.Since(t0); rep == 0 || dd < naive {
+			naive = dd
+		}
+		if rep == 0 {
+			for d := range verdicts {
+				for q := range verdicts[d] {
+					if verdicts[d][q] != serialVerdicts[d][q] {
+						naiveAgree = false
+					}
+				}
+			}
+		}
+	}
+
+	perEvent := func(d time.Duration) string {
+		return ftoa(float64(d.Nanoseconds()) / float64(totalEvents))
+	}
+	rows := [][]string{}
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		pool, err := serve.NewPool(eng, serve.WithShards(shards))
+		if err != nil {
+			panic(err)
+		}
+		agree := naiveAgree
+		var pooled time.Duration
+		for rep := 0; rep < reps; rep++ {
+			futures := make([]*serve.Future, docs)
+			t0 := time.Now()
+			for d := range corpus {
+				futures[d], err = pool.SubmitEvents(context.Background(), fmt.Sprintf("doc-%d", d), corpus[d])
+				if err != nil {
+					panic(err)
+				}
+			}
+			for d, f := range futures {
+				res, err := f.Wait(context.Background())
+				if err != nil {
+					panic(err)
+				}
+				if rep == 0 {
+					for q, v := range res.Engine.Verdicts {
+						if v != serialVerdicts[d][q] {
+							agree = false
+						}
+					}
+				}
+			}
+			if dd := time.Since(t0); rep == 0 || dd < pooled {
+				pooled = dd
+			}
+		}
+		if err := pool.Close(); err != nil {
+			panic(err)
+		}
+		rows = append(rows, []string{
+			itoa(shards), itoa(docs), itoa(totalEvents),
+			perEvent(serial), perEvent(naive), perEvent(pooled),
+			ftoa(float64(serial) / float64(pooled)),
+			ftoa(float64(serial) / float64(naive)),
+			btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E23 (serve): sharded pool vs serial vs goroutine-per-document, same 8-query engine",
+		Header: []string{"shards", "docs", "events", "serial ns/ev", "naive ns/ev", "pool ns/ev", "pool speedup", "naive speedup", "agree"},
+		Rows:   rows,
+	}
+}
+
+// Info is one entry of the experiment index: the ID accepted by cmd/nwbench
+// and a one-line summary.  `nwbench -list` prints these lines, and
+// docs/EXPERIMENTS.md repeats them, so the index is the single source of
+// truth for what each experiment measures.
+type Info struct {
+	ID      string
+	Summary string
+}
+
+// Index lists every experiment in ID order with its one-line summary.
+func Index() []Info {
+	return []Info{
+		{"E1", "nested-word and tree-word encodings round-trip (Figure 1)"},
+		{"E2", "weak NWA conversion hits the s(|Σ|+1) state bound (Theorem 1)"},
+		{"E3", "flat NWAs coincide with word DFAs over the tagged alphabet (Theorem 2)"},
+		{"E4", "NWAs with O(s) states vs minimal word DFAs with ≥2^s states (Theorem 3)"},
+		{"E5", "bottom-up conversion: reachable states vs the s^s·|Σ| bound (Theorem 4)"},
+		{"E6", "flat NWAs O(s²) vs ≥2^s congruence classes for bottom-up NWAs (Theorem 5)"},
+		{"E7", "a conjunction query needs a join; an NWA product answers it (Theorem 6)"},
+		{"E8", "nondeterministic joinless NWAs with O(s²|Σ|) states (Theorem 7)"},
+		{"E9", "path family: NWA O(s) vs deterministic tree automata ≥2^s (Theorem 8)"},
+		{"E10", "linear-order query: linear DFA/flat NWA vs ≥2^n bottom-up classes (introduction)"},
+		{"E11", "tree automata embed into bottom-up / top-down NWAs (Lemmas 1–3)"},
+		{"E12", "pushdown word automata embed into pushdown NWAs (Lemma 4)"},
+		{"E13", "a context-free tree language as a PTA and as a pushdown NWA (Lemma 5)"},
+		{"E14", "equal-count language on stem and full-binary-tree families (Theorem 9)"},
+		{"E15", "CNF satisfiability via pushdown-NWA membership vs DPLL (Theorem 10)"},
+		{"E16", "pushdown-NWA emptiness by summary saturation (Theorem 11)"},
+		{"E17", "determinization: reachable states vs the 2^(s²) bound (Section 3.2)"},
+		{"E19", "membership is single-pass with stack bounded by depth (Section 3.2)"},
+		{"E20", "streaming documents as nested words, memory bounded by depth (Section 1)"},
+		{"E21", "engine: N simultaneous queries in one pass vs one re-scan per query"},
+		{"E22", "query API: compiled dense tables + interned symbols vs map-keyed stepping"},
+		{"E23", "serve: sharded multi-document pool vs serial and goroutine-per-document"},
+	}
+}
+
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
 	return []Table{
@@ -830,6 +1019,7 @@ func All() []Table {
 		E20Streaming(),
 		E21MultiQueryStreaming(200000, 32),
 		E22CompiledVsMap(200000, 32),
+		E23ShardedServing(100, 2000),
 	}
 }
 

@@ -36,12 +36,17 @@ func (d *DNWA) IsFlat() bool {
 	return true
 }
 
-// TaggedCall, TaggedInternal and TaggedReturn render a symbol of Σ as the
-// corresponding letter of the tagged alphabet Σ̂ used by the word-automaton
-// view of flat NWAs (the strings "<a", "a", "a>").
-func TaggedCall(sym string) string     { return "<" + sym }
+// TaggedCall renders a symbol of Σ as the call letter ⟨a of the tagged
+// alphabet Σ̂ used by the word-automaton view of flat NWAs.
+func TaggedCall(sym string) string { return "<" + sym }
+
+// TaggedInternal renders a symbol of Σ as its internal letter in the tagged
+// alphabet Σ̂ (the symbol itself).
 func TaggedInternal(sym string) string { return sym }
-func TaggedReturn(sym string) string   { return sym + ">" }
+
+// TaggedReturn renders a symbol of Σ as the return letter a⟩ of the tagged
+// alphabet Σ̂.
+func TaggedReturn(sym string) string { return sym + ">" }
 
 // TaggedAlphabet returns the tagged alphabet Σ̂ = {⟨a, a, a⟩ : a ∈ Σ} in the
 // string encoding used by FlatToDFA / FlatFromDFA.

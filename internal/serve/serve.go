@@ -1,0 +1,373 @@
+// Package serve is the multi-document serving layer on top of the engine
+// package: where an engine.Engine answers N registered queries over one
+// document in one pass, a serve.Pool answers them over a stream of many
+// documents concurrently, one engine session per shard.
+//
+// A Pool owns a fixed set of shards (default runtime.GOMAXPROCS(0)), each a
+// worker goroutine that has checked one engine.Session out of the shared
+// engine for its lifetime and holds one reusable interning tokenizer, so the
+// steady state serves documents with no per-document allocation beyond the
+// submission bookkeeping.  Incoming documents are routed to shards by the
+// FNV-1a hash of their ID — all submissions of one document ID serialize on
+// one shard, keeping per-document ordering — or round-robined under
+// AffinityNone for maximal balance when IDs are skewed.
+//
+// Backpressure is a bounded queue per shard: Submit blocks once the target
+// shard's queue is full, which throttles the producer (typically a
+// tokenizer-side loop) to the speed of the automaton workers instead of
+// buffering without bound.  Submission respects context cancellation while
+// blocked, and each document's context is checked again at dequeue time and
+// periodically mid-pass, so a cancelled request stops consuming its shard.
+//
+// Results come back through a Future (Wait/Done) and, when the pool was
+// built WithOnResult, through a callback invoked on the shard worker —
+// aggregation loops need no per-document future bookkeeping.  Close drains
+// gracefully: it rejects new submissions, lets every queued document finish,
+// and waits for the workers to exit.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/docstream"
+	"repro/internal/engine"
+)
+
+// ErrClosed is returned by Submit variants after Close has begun.
+var ErrClosed = errors.New("serve: pool closed")
+
+// Affinity selects how documents are routed to shards.
+type Affinity int
+
+const (
+	// AffinityHash routes each document by the FNV-1a hash of its ID, so
+	// repeated submissions of one ID always serialize on the same shard.
+	AffinityHash Affinity = iota
+	// AffinityNone ignores IDs and round-robins documents across shards —
+	// the best balance when IDs are few or skewed.
+	AffinityNone
+)
+
+// String names the affinity the way the -affinity CLI flags spell it.
+func (a Affinity) String() string {
+	if a == AffinityNone {
+		return "none"
+	}
+	return "hash"
+}
+
+// ParseAffinity converts a CLI spelling ("hash" or "none") to an Affinity.
+func ParseAffinity(s string) (Affinity, error) {
+	switch s {
+	case "hash":
+		return AffinityHash, nil
+	case "none":
+		return AffinityNone, nil
+	}
+	return 0, fmt.Errorf("serve: unknown affinity %q (want \"hash\" or \"none\")", s)
+}
+
+// Result is the outcome of serving one document: the engine's per-query
+// verdict set, or the error that aborted the pass (tokenization failure,
+// context cancellation).  Exactly one of Engine and Err is non-nil.
+type Result struct {
+	ID     string
+	Shard  int
+	Engine *engine.Result
+	Err    error
+}
+
+// Future resolves to the Result of one submitted document.
+type Future struct {
+	done chan struct{}
+	res  Result
+}
+
+// Done returns a channel closed when the result is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the document has been served or ctx is cancelled.  When
+// the document itself failed, the Result carries the error both ways: in
+// Result.Err and as Wait's error.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.res.Err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Stats is a snapshot of the pool's aggregate counters.
+type Stats struct {
+	Served int64 // documents completed, successfully or not
+	Failed int64 // documents whose Result carries an error
+	Events int64 // events consumed by successful passes
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithShards sets the number of shards (default runtime.GOMAXPROCS(0)).
+// Each shard is one worker goroutine owning one engine session.
+func WithShards(n int) Option {
+	return func(p *Pool) {
+		if n > 0 {
+			p.numShards = n
+		}
+	}
+}
+
+// WithQueueDepth bounds each shard's submission queue (default 64).  A full
+// queue blocks Submit — the backpressure that keeps a fast producer from
+// buffering unboundedly ahead of the automaton workers.
+func WithQueueDepth(n int) Option {
+	return func(p *Pool) {
+		if n > 0 {
+			p.depth = n
+		}
+	}
+}
+
+// WithAffinity selects the document-to-shard routing (default AffinityHash).
+func WithAffinity(a Affinity) Option {
+	return func(p *Pool) { p.affinity = a }
+}
+
+// WithOnResult installs a callback invoked on the shard worker for every
+// completed document, before the document's Future resolves.  It must be
+// safe for concurrent calls from different shards.
+func WithOnResult(fn func(Result)) Option {
+	return func(p *Pool) { p.onResult = fn }
+}
+
+// job is one queued document.
+type job struct {
+	id  string
+	ctx context.Context
+	rd  io.Reader          // tokenized on the shard's reusable tokenizer...
+	src engine.EventSource // ...or already an event source (exactly one set)
+	fut *Future
+}
+
+// Pool serves many documents concurrently against one engine's registered
+// query set.  Build it with NewPool, submit documents from any number of
+// goroutines, and Close it to drain.
+type Pool struct {
+	eng       *engine.Engine
+	numShards int
+	depth     int
+	affinity  Affinity
+	onResult  func(Result)
+
+	shards []chan job
+	rr     atomic.Uint64 // round-robin cursor for AffinityNone
+
+	mu     sync.RWMutex // guards closed against concurrent Submit/Close
+	closed bool
+	wg     sync.WaitGroup
+
+	served atomic.Int64
+	failed atomic.Int64
+	events atomic.Int64
+}
+
+// NewPool starts the shard workers for the engine's registered query set.
+// The engine must not have further queries registered while the pool is
+// live (sessions are checked out for the workers' lifetime).
+func NewPool(eng *engine.Engine, opts ...Option) (*Pool, error) {
+	if eng == nil {
+		return nil, errors.New("serve: nil engine")
+	}
+	if eng.Len() == 0 {
+		return nil, errors.New("serve: engine has no registered queries")
+	}
+	p := &Pool{
+		eng:       eng,
+		numShards: runtime.GOMAXPROCS(0),
+		depth:     64,
+		affinity:  AffinityHash,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.shards = make([]chan job, p.numShards)
+	for i := range p.shards {
+		p.shards[i] = make(chan job, p.depth)
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p, nil
+}
+
+// Shards returns the number of shards the pool was built with.
+func (p *Pool) Shards() int { return p.numShards }
+
+// Stats snapshots the aggregate counters.  It may be called while the pool
+// is serving.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Served: p.served.Load(),
+		Failed: p.failed.Load(),
+		Events: p.events.Load(),
+	}
+}
+
+// Submit queues a document read from r — tokenized on the target shard's
+// reusable interning tokenizer — and returns its Future.  It blocks while
+// the shard's queue is full (backpressure) unless ctx is cancelled first,
+// and fails with ErrClosed once Close has begun.
+func (p *Pool) Submit(ctx context.Context, id string, r io.Reader) (*Future, error) {
+	return p.enqueue(job{id: id, ctx: ctx, rd: r})
+}
+
+// SubmitSource queues a document already available as an event source.
+// Events carrying a pre-interned Sym must have been interned against the
+// engine's alphabet (see engine.Session.Feed).
+func (p *Pool) SubmitSource(ctx context.Context, id string, src engine.EventSource) (*Future, error) {
+	if src == nil {
+		return nil, errors.New("serve: nil event source")
+	}
+	return p.enqueue(job{id: id, ctx: ctx, src: src})
+}
+
+// SubmitEvents queues an in-memory event slice as a document.
+func (p *Pool) SubmitEvents(ctx context.Context, id string, events []docstream.Event) (*Future, error) {
+	return p.enqueue(job{id: id, ctx: ctx, src: engine.Events(events)})
+}
+
+func (p *Pool) route(id string) int {
+	if p.affinity == AffinityNone || len(p.shards) == 1 {
+		return int((p.rr.Add(1) - 1) % uint64(len(p.shards)))
+	}
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	return int(h.Sum64() % uint64(len(p.shards)))
+}
+
+func (p *Pool) enqueue(j job) (*Future, error) {
+	j.fut = &Future{done: make(chan struct{})}
+	if j.ctx == nil {
+		j.ctx = context.Background()
+	}
+	// The read lock is held across the (possibly blocking) send so Close
+	// cannot close the shard channel out from under it; Close's write lock
+	// waits for in-flight submissions, and the workers keep draining, so a
+	// blocked send always completes or gives up via ctx.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case p.shards[p.route(j.id)] <- j:
+		return j.fut, nil
+	case <-j.ctx.Done():
+		return nil, j.ctx.Err()
+	}
+}
+
+// Close drains the pool gracefully: new submissions fail with ErrClosed,
+// every already-queued document is served to completion, and Close returns
+// once all shard workers have exited and released their sessions.  It is
+// safe to call more than once.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, sh := range p.shards {
+			close(sh)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+// Shutdown is Close bounded by a context: it initiates the same graceful
+// drain but gives up waiting when ctx is cancelled, returning ctx.Err()
+// while the workers keep draining in the background.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ctxSource aborts a pass when its context is cancelled, checking once per
+// checkInterval events so the hot loop stays branch-cheap.
+type ctxSource struct {
+	ctx context.Context
+	src engine.EventSource
+	n   int
+}
+
+const checkInterval = 1024
+
+func (c *ctxSource) Next() (docstream.Event, error) {
+	if c.n%checkInterval == 0 {
+		if err := c.ctx.Err(); err != nil {
+			return docstream.Event{}, err
+		}
+	}
+	c.n++
+	return c.src.Next()
+}
+
+// worker is one shard: it checks a session out of the engine once, reuses
+// one interning tokenizer, and serves its queue until Close.
+func (p *Pool) worker(shard int) {
+	defer p.wg.Done()
+	ses := p.eng.Acquire()
+	defer p.eng.Release(ses)
+	// One tokenizer per shard, Reset per document: after the first document
+	// the tokenizer's buffered reader is reused, so reader-submitted
+	// documents tokenize allocation-free too.
+	var tok *docstream.Tokenizer
+	if alpha := p.eng.Alphabet(); alpha != nil {
+		tok = docstream.NewInterningTokenizer(nil, alpha)
+	} else {
+		tok = docstream.NewTokenizer(nil)
+	}
+	for j := range p.shards[shard] {
+		res := Result{ID: j.id, Shard: shard}
+		if err := j.ctx.Err(); err != nil {
+			// Cancelled while queued: report without touching the session.
+			res.Err = err
+		} else {
+			src := j.src
+			if j.rd != nil {
+				tok.Reset(j.rd)
+				src = tok
+			}
+			ses.Reset()
+			r, err := ses.Run(&ctxSource{ctx: j.ctx, src: src})
+			res.Engine, res.Err = r, err
+		}
+		p.served.Add(1)
+		if res.Err != nil {
+			p.failed.Add(1)
+		} else {
+			p.events.Add(int64(res.Engine.Events))
+		}
+		if p.onResult != nil {
+			p.onResult(res)
+		}
+		j.fut.res = res
+		close(j.fut.done)
+	}
+}

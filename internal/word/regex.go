@@ -172,6 +172,7 @@ type RegexSyntaxError struct {
 	Msg    string
 }
 
+// Error formats the syntax error with its offending input.
 func (e *RegexSyntaxError) Error() string {
 	return "word: invalid regex " + e.Input + ": " + e.Msg
 }

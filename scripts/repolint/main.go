@@ -1,0 +1,260 @@
+// Command repolint enforces the repository's documentation invariants in
+// CI:
+//
+//   - every Go package (including commands and examples) carries a package
+//     doc comment, so `go doc` output is usable for all of them;
+//   - every exported top-level identifier — funcs, methods on exported
+//     types, types, consts, vars — carries a doc comment;
+//   - every relative link in the repository's Markdown files points at a
+//     file or directory that exists.
+//
+// It prints one line per violation and exits non-zero if there are any.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if err := lintGo(root, report); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if err := lintMarkdownLinks(root, report); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("repolint: %d problems\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("repolint: ok")
+}
+
+// lintGo walks every non-test Go file, checking package comments per
+// package directory and doc comments per exported identifier.
+func lintGo(root string, report func(string, ...any)) error {
+	fset := token.NewFileSet()
+	// pkgDoc tracks, per package directory, whether some file documented
+	// the package clause.
+	pkgDoc := map[string]bool{}
+	pkgFirstFile := map[string]string{}
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || (name != "." && strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		if _, seen := pkgDoc[dir]; !seen {
+			pkgDoc[dir] = false
+			pkgFirstFile[dir] = path
+		}
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			pkgDoc[dir] = true
+		}
+		lintDecls(fset, path, file, report)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for dir, ok := range pkgDoc {
+		if !ok {
+			report("%s: package in %s has no package doc comment", pkgFirstFile[dir], dir)
+		}
+	}
+	return nil
+}
+
+// lintDecls reports exported top-level identifiers without doc comments.
+func lintDecls(fset *token.FileSet, path string, file *ast.File, report func(string, ...any)) {
+	exportedTypes := map[string]bool{}
+	for _, decl := range file.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+					exportedTypes[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", path, p.Line)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && !receiverIsExported(d.Recv, exportedTypes) {
+				continue
+			}
+			if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+				report("%s: exported %s %s has no doc comment", pos(d), funcKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && (s.Doc == nil || strings.TrimSpace(s.Doc.Text()) == "") {
+						report("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if groupDoc || (s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != "") ||
+						(s.Comment != nil && strings.TrimSpace(s.Comment.Text()) != "") {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report("%s: exported %s %s has no doc comment", pos(s), strings.ToLower(d.Tok.String()), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcKind distinguishes methods from functions in reports.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// receiverIsExported reports whether a method's receiver type is exported in
+// the same file's terms (methods on unexported types are not part of the
+// package API).
+func receiverIsExported(recv *ast.FieldList, exported map[string]bool) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return exported[x.Name] || x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// stripCode blanks out fenced code blocks and inline code spans so that
+// bracket sequences inside code are not mistaken for Markdown links.
+func stripCode(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			out.WriteString("\n")
+			continue
+		}
+		if inFence {
+			out.WriteString("\n")
+			continue
+		}
+		// Drop inline `code` spans within the line.
+		for {
+			open := strings.IndexByte(line, '`')
+			if open < 0 {
+				break
+			}
+			close := strings.IndexByte(line[open+1:], '`')
+			if close < 0 {
+				break
+			}
+			line = line[:open] + line[open+1+close+1:]
+		}
+		out.WriteString(line)
+	}
+	return out.String()
+}
+
+// lintMarkdownLinks checks that every relative link target in the
+// repository's Markdown files exists.
+func lintMarkdownLinks(root string, report func(string, ...any)) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(path), ".md") {
+			return nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripCode(string(body)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				report("%s: broken link %q", path, m[1])
+			}
+		}
+		return nil
+	})
+}
