@@ -1,5 +1,5 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment (E1..E23, excluding E18 which was not implemented — see
+// per experiment (E1..E24, excluding E18 which was not implemented — see
 // docs/EXPERIMENTS.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
@@ -158,6 +158,12 @@ func BenchmarkE23_ShardedServing(b *testing.B) {
 	}
 }
 
+func BenchmarkE24_BitsetRunner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E24BitsetRunner(256))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -247,6 +253,15 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e23.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E23: pool or naive fan-out verdicts diverge from serial on row %v", row)
+		}
+	}
+	e24 := experiments.E24BitsetRunner(64)
+	if len(e24.Rows) == 0 {
+		t.Error("E24 produced no rows")
+	}
+	for _, row := range e24.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E24: bitset runner verdicts diverge from the matrix runner on row %v", row)
 		}
 	}
 }

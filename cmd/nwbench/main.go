@@ -3,20 +3,84 @@
 // the engineering experiments of the serving stack — and prints them with
 // wall-clock timings.  The same computations are exposed as Go benchmarks in
 // the repository root (go test -bench=.).  Run with -list to print the
-// one-line summary of each experiment instead of computing anything.
+// one-line summary of each experiment instead of computing anything, and
+// with -json DIR to additionally write one machine-readable BENCH_<ID>.json
+// file per serving-stack experiment (E21–E24) — the per-PR perf trajectory
+// CI uploads as a workflow artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// benchRecord is the schema of one BENCH_<ID>.json file: the experiment's
+// identity, the environment, the wall-clock of the regeneration, and the
+// full table both raw (header + rows) and as one object per row keyed by
+// the header — so ns/op columns, alloc columns, and shard/query counts are
+// addressable by name without re-parsing the fixed-width text table.
+type benchRecord struct {
+	ID         string              `json:"id"`
+	Name       string              `json:"name"`
+	Summary    string              `json:"summary"`
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	UnixTime   int64               `json:"unix_time"`
+	WallNS     int64               `json:"wall_ns"`
+	Header     []string            `json:"header"`
+	Rows       [][]string          `json:"rows"`
+	Metrics    []map[string]string `json:"metrics"`
+}
+
+// jsonIDs selects the experiments whose tables are benchmark trajectories
+// worth recording per PR: the serving-stack ones with timing columns.
+var jsonIDs = map[string]bool{"E21": true, "E22": true, "E23": true, "E24": true}
+
+func writeBenchJSON(dir, id string, table experiments.Table, wall time.Duration) error {
+	summary := ""
+	for _, info := range experiments.Index() {
+		if info.ID == id {
+			summary = info.Summary
+		}
+	}
+	rec := benchRecord{
+		ID:         id,
+		Name:       table.Name,
+		Summary:    summary,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		UnixTime:   time.Now().Unix(),
+		WallNS:     wall.Nanoseconds(),
+		Header:     table.Header,
+		Rows:       table.Rows,
+	}
+	for _, row := range table.Rows {
+		m := map[string]string{}
+		for i, cell := range row {
+			if i < len(table.Header) {
+				m[table.Header[i]] = cell
+			}
+		}
+		rec.Metrics = append(rec.Metrics, m)
+	}
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+id+".json"), append(body, '\n'), 0o644)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use smaller parameter ranges for a fast smoke run")
 	list := flag.Bool("list", false, "print one line per experiment (the docs/EXPERIMENTS.md summaries) and exit")
+	jsonDir := flag.String("json", "", "write BENCH_<ID>.json files for the serving-stack experiments (E21–E24) into this directory")
 	flag.Parse()
 
 	if *list {
@@ -24,6 +88,12 @@ func main() {
 			fmt.Printf("%-5s %s\n", info.ID, info.Summary)
 		}
 		return
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "nwbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	type entry struct {
@@ -53,6 +123,7 @@ func main() {
 		{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(1000000, 32) }},
 		{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(1000000, 32) }},
 		{"E23", func() experiments.Table { return experiments.E23ShardedServing(200, 5000) }},
+		{"E24", func() experiments.Table { return experiments.E24BitsetRunner(256) }},
 	}
 	entries := full
 	if *quick {
@@ -66,6 +137,7 @@ func main() {
 			{"E21", func() experiments.Table { return experiments.E21MultiQueryStreaming(100000, 24) }},
 			{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(100000, 24) }},
 			{"E23", func() experiments.Table { return experiments.E23ShardedServing(50, 1000) }},
+			{"E24", func() experiments.Table { return experiments.E24BitsetRunner(256) }},
 		}
 	}
 
@@ -73,8 +145,15 @@ func main() {
 	for _, e := range entries {
 		t0 := time.Now()
 		table := e.run()
+		wall := time.Since(t0)
 		fmt.Println(table)
-		fmt.Printf("(%s regenerated in %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", e.name, wall.Round(time.Millisecond))
+		if *jsonDir != "" && jsonIDs[e.name] {
+			if err := writeBenchJSON(*jsonDir, e.name, table, wall); err != nil {
+				fmt.Fprintln(os.Stderr, "nwbench:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

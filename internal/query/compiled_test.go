@@ -81,10 +81,11 @@ func TestCompiledDNWADifferential(t *testing.T) {
 	}
 }
 
-// TestCompiledNNWADifferential is the ISSUE's differential criterion: ≥1000
+// TestCompiledNNWADifferential is the ISSUE's differential criterion: 1200
 // random nested words — including words with pending calls and returns — fed
-// both to the compiled NNWA state-set runner and to Determinize+DNWA, with
-// identical verdicts required (and cross-checked against NNWA.Accepts).
+// to the bitset state-set runner, the []bool matrix reference runner, and
+// Determinize+DNWA, with identical verdicts required (and cross-checked
+// against NNWA.Accepts).
 func TestCompiledNNWADifferential(t *testing.T) {
 	rng := rand.New(rand.NewSource(202))
 	labels := []string{"a", "b"}
@@ -96,6 +97,7 @@ func TestCompiledNNWADifferential(t *testing.T) {
 		c := CompileN(a)
 		det := Compile(a.Determinize())
 		runner := c.NewRunner()
+		matrix := c.NewReferenceRunner()
 		detRunner := det.NewRunner()
 		words, pending := randomWords(rng, wordsPer, labels)
 		totalPending += pending
@@ -103,17 +105,76 @@ func TestCompiledNNWADifferential(t *testing.T) {
 			got := RunWord(runner, generator.AB, w)
 			want := RunWord(detRunner, generator.AB, w)
 			if got != want {
-				t.Fatalf("automaton %d, word %d: state-set runner %v, Determinize+DNWA %v on %v",
+				t.Fatalf("automaton %d, word %d: bitset runner %v, Determinize+DNWA %v on %v",
 					ai, wi, got, want, w)
 			}
+			if ref := RunWord(matrix, generator.AB, w); got != ref {
+				t.Fatalf("automaton %d, word %d: bitset runner %v, matrix runner %v on %v",
+					ai, wi, got, ref, w)
+			}
 			if ref := a.Accepts(w); got != ref {
-				t.Fatalf("automaton %d, word %d: state-set runner %v, NNWA.Accepts %v on %v",
+				t.Fatalf("automaton %d, word %d: bitset runner %v, NNWA.Accepts %v on %v",
 					ai, wi, got, ref, w)
 			}
 		}
 	}
 	if totalPending == 0 {
 		t.Fatal("no words with pending calls/returns were generated")
+	}
+}
+
+// TestBitsetRunnerEdgeWidths pins the bitset runner against the matrix
+// reference on automata whose state counts straddle the 64-bit word
+// boundaries of the packed rows: 1, 63, 64, 65, and 128 states.
+func TestBitsetRunnerEdgeWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	labels := []string{"a", "b"}
+	for _, states := range []int{1, 63, 64, 65, 128} {
+		a := randomNNWA(rng, states)
+		// Extra transitions so the larger automata keep non-trivial sets.
+		for i := 0; i < 4*states; i++ {
+			sym := []string{"a", "b"}[rng.Intn(2)]
+			a.AddReturn(rng.Intn(states), rng.Intn(states), sym, rng.Intn(states))
+			a.AddInternal(rng.Intn(states), sym, rng.Intn(states))
+		}
+		c := CompileN(a)
+		bitsetRunner := c.NewRunner()
+		matrix := c.NewReferenceRunner()
+		words, _ := randomWords(rng, 80, labels)
+		for wi, w := range words {
+			got := RunWord(bitsetRunner, generator.AB, w)
+			want := RunWord(matrix, generator.AB, w)
+			if got != want {
+				t.Fatalf("states %d, word %d: bitset %v, matrix %v on %v", states, wi, got, want, w)
+			}
+		}
+	}
+}
+
+// TestMatrixRunnerFlag checks the unexported differential-testing flag: with
+// useMatrixRunner set, NewRunner (and therefore the whole engine/serve
+// stack) runs on the []bool reference implementation, and both settings
+// agree on every verdict.
+func TestMatrixRunnerFlag(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	a := randomNNWA(rng, 5)
+	c := CompileN(a)
+	defer func() { useMatrixRunner = false }()
+	useMatrixRunner = true
+	if _, ok := c.NewRunner().(*nnwaMatrixRunner); !ok {
+		t.Fatal("useMatrixRunner should route NewRunner to the matrix implementation")
+	}
+	flagged := c.NewRunner()
+	useMatrixRunner = false
+	if _, ok := c.NewRunner().(*nnwaBitsetRunner); !ok {
+		t.Fatal("NewRunner should default to the bitset implementation")
+	}
+	plain := c.NewRunner()
+	words, _ := randomWords(rng, 120, []string{"a", "b"})
+	for wi, w := range words {
+		if got, want := RunWord(plain, generator.AB, w), RunWord(flagged, generator.AB, w); got != want {
+			t.Fatalf("word %d: bitset %v, flagged matrix %v on %v", wi, got, want, w)
+		}
 	}
 }
 

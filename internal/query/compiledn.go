@@ -4,18 +4,32 @@ import (
 	"sort"
 
 	"repro/internal/alphabet"
+	"repro/internal/bitset"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
 )
 
 // CompiledN is an immutable compiled nondeterministic NWA.  Its transition
-// relations are stored as prefix-offset adjacency (CSR) tables indexed by
-// state*numSymbols+sym — the relational analogue of the Compiled dense
-// slices — with the quadratic return index subject to the same dense/sparse
-// threshold.  CompiledN implements Query, so the engine fans its runners out
-// next to deterministic ones; the runners simulate the automaton on line
-// with the subset-of-pairs construction of Section 3.2, keeping one summary
-// set per stack frame.
+// relations are stored twice, for two different access patterns:
+//
+//   - prefix-offset adjacency (CSR) tables indexed by state*numSymbols+sym —
+//     the relational analogue of the Compiled dense slices, with the
+//     quadratic return index subject to the same dense/sparse threshold —
+//     used wherever individual successors must be enumerated (the return
+//     stitch, the reference runner);
+//   - per-symbol successor bitmasks: for every (sym, state) pair one
+//     bitset row of ⌈num/64⌉ uint64 words holding the internal successors
+//     (intMask) and the linear call successors (callMask), so advancing a
+//     whole state set through a symbol is a word-parallel Gather instead of
+//     a per-successor branch.
+//
+// CompiledN implements Query, so the engine fans its runners out next to
+// deterministic ones; the runners simulate the automaton on line with the
+// subset-of-pairs construction of Section 3.2, keeping one summary set per
+// stack frame.  NewRunner returns the bitset runner; the older []bool
+// matrix runner is kept behind NewReferenceRunner (and the package-level
+// useMatrixRunner flag) as the differential-testing oracle and the E24
+// baseline.
 type CompiledN struct {
 	alpha  *alphabet.Alphabet
 	num    int
@@ -37,7 +51,25 @@ type CompiledN struct {
 	retTo   []int32
 	retKeys []uint64 // sparse: sorted packed keys
 	retSpan []int32  // sparse: len(retKeys)+1 prefix offsets into retTo
+
+	// Bitset layout: w words per row; per-symbol successor masks are flat
+	// num-row tables sliced at (sym*num+q)*w, so one symbol's table is
+	// contiguous and Gather walks it in order.
+	w         int
+	startRow  bitset.Row
+	acceptRow bitset.Row
+	intMask   []uint64 // syms*num rows: internal successors of q on sym
+	callMask  []uint64 // syms*num rows: linear call successors of q on sym
 }
+
+// useMatrixRunner routes NewRunner to the []bool matrix runner instead of
+// the bitset runner.  Unexported and toggled only by this package's own
+// sequential tests (it is a plain global, so it must never be flipped while
+// runners are being minted concurrently): it pins the routing that every
+// NewRunner caller — engine sessions and serve pools included — would take
+// if the reference implementation had to be swapped back in.  Callers that
+// explicitly want the baseline use NewReferenceRunner instead.
+var useMatrixRunner = false
 
 // CompileN flattens a nondeterministic NWA into its compiled form.  Like
 // Compile, the result is immutable and safe for concurrent use.
@@ -119,7 +151,41 @@ func CompileN(n *nwa.NNWA) *CompiledN {
 		}
 		c.retSpan = append(c.retSpan, int32(len(entries)))
 	}
+
+	// Per-symbol successor bitmasks, precomputed once so every runner's
+	// internal and call steps are pure Gather sweeps.
+	c.w = bitset.Words(num)
+	c.startRow = bitset.New(num)
+	for _, q := range c.starts {
+		c.startRow.Set(int(q))
+	}
+	c.acceptRow = bitset.New(num)
+	for q := 0; q < num; q++ {
+		if c.accept[q] {
+			c.acceptRow.Set(q)
+		}
+	}
+	c.intMask = make([]uint64, syms*num*c.w)
+	c.callMask = make([]uint64, syms*num*c.w)
+	n.EachInternal(func(state, sym, to int) {
+		c.maskRow(c.intMask, sym, state).Set(to)
+	})
+	n.EachCall(func(state, sym, linear, _ int) {
+		c.maskRow(c.callMask, sym, state).Set(linear)
+	})
 	return c
+}
+
+// maskRow slices one state's successor row out of a per-symbol mask table.
+func (c *CompiledN) maskRow(table []uint64, sym, q int) bitset.Row {
+	i := (sym*c.num + q) * c.w
+	return bitset.Row(table[i : i+c.w])
+}
+
+// symTable slices one symbol's whole num-row mask table, in the flat layout
+// bitset.Gather expects.
+func (c *CompiledN) symTable(table []uint64, sym int) []uint64 {
+	return table[sym*c.num*c.w : (sym+1)*c.num*c.w]
 }
 
 func prefixSums(counts []int32) []int32 {
@@ -165,9 +231,29 @@ func (c *CompiledN) returnSucc(lin, hier int32, sym int) []int32 {
 	return nil
 }
 
-// NewRunner returns a fresh nondeterministic state-set runner.
+// NewRunner returns a fresh nondeterministic state-set runner — the bitset
+// implementation, unless the package-internal differential-testing flag
+// redirects to the reference matrix runner.
 func (c *CompiledN) NewRunner() Runner {
-	r := &nnwaRunner{c: c}
+	if useMatrixRunner {
+		return c.NewReferenceRunner()
+	}
+	r := &nnwaBitsetRunner{c: c, w: c.w}
+	r.S = make([]uint64, c.num*c.w)
+	r.R = bitset.New(c.num)
+	r.T = make([]uint64, c.num*c.w)
+	r.sel = bitset.New(c.num)
+	r.Reset()
+	return r
+}
+
+// NewReferenceRunner returns the []bool matrix implementation of the
+// state-set runner.  It computes exactly the same summary and reachable
+// sets as NewRunner one boolean at a time; it exists as the oracle for the
+// differential tests and fuzz targets and as the baseline side of
+// experiment E24, not for production use.
+func (c *CompiledN) NewReferenceRunner() Runner {
+	r := &nnwaMatrixRunner{c: c}
 	r.S = make([]bool, c.num*c.num)
 	r.R = make([]bool, c.num)
 	r.Reset()
@@ -180,34 +266,228 @@ func (c *CompiledN) Accepts(n *nestedword.NestedWord) bool {
 	return RunWord(c.NewRunner(), c.alpha, n)
 }
 
-// nnwaFrame is what the state-set runner keeps per open element: the summary
-// and reachable sets as they stood just before the call, plus the call
-// symbol — exactly the data the subset-of-pairs determinization propagates
+// --- bitset state-set runner -------------------------------------------
+//
+// The runner keeps the Section 3.2 subset-of-pairs simulation in packed
+// rows: S is num rows of w = ⌈num/64⌉ uint64 words (row `from` holding the
+// set of states q′ with a summary run from → q′ since the innermost pending
+// call) and R is one w-word row (the states reachable from a start state
+// over the whole prefix).  Each step is then a composition
+//
+//	S′[from] = ⋃_{mid ∈ S[from]} rows[mid]
+//
+// where rows is a precomputed per-symbol mask table (internal step) or a
+// per-event table T stitched from the call/return adjacency (return step) —
+// one bitset.Gather per live row, 64 states per OR.
+
+// nnwaBitsetFrame is what the runner keeps per open element: the packed
+// summary and reachable sets as they stood just before the call, plus the
+// call symbol — the data the subset-of-pairs determinization propagates
 // along a hierarchical edge.
-type nnwaFrame struct {
+type nnwaBitsetFrame struct {
+	S   []uint64   // num rows × w words of summary pairs
+	R   bitset.Row // reachable set
+	sym int        // interned call symbol
+}
+
+// nnwaBitsetRunner is the production nondeterministic runner.  Memory is
+// O(num·⌈num/64⌉ words · depth) — 64× fewer bits than the matrix form's
+// num² bools per frame — and popped frames are recycled through a free
+// list, so steady-state streaming does not allocate per element.
+type nnwaBitsetRunner struct {
+	c     *CompiledN
+	w     int
+	S     []uint64
+	R     bitset.Row
+	T     []uint64   // scratch: per-mid composed rows for the return stitch
+	sel   bitset.Row // scratch: union of live mids for the return stitch
+	stack []nnwaBitsetFrame
+	free  []nnwaBitsetFrame
+}
+
+// fresh returns zeroed S and R buffers, reusing a recycled frame when one
+// is available.
+func (r *nnwaBitsetRunner) fresh() ([]uint64, bitset.Row) {
+	if n := len(r.free); n > 0 {
+		f := r.free[n-1]
+		r.free = r.free[:n-1]
+		clearWords(f.S)
+		f.R.Zero()
+		return f.S, f.R
+	}
+	return make([]uint64, r.c.num*r.w), bitset.New(r.c.num)
+}
+
+func (r *nnwaBitsetRunner) recycle(S []uint64, R bitset.Row) {
+	r.free = append(r.free, nnwaBitsetFrame{S: S, R: R})
+}
+
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// row slices row i of a num×w matrix.
+func (r *nnwaBitsetRunner) row(m []uint64, i int) bitset.Row {
+	return bitset.Row(m[i*r.w : i*r.w+r.w])
+}
+
+// compose sets dst[from] = ⋃_{mid ∈ src[from]} rows[mid] for every from,
+// skipping empty source rows.
+func (r *nnwaBitsetRunner) compose(dst, src, rows []uint64) {
+	for from := 0; from < r.c.num; from++ {
+		srow := r.row(src, from)
+		if !srow.Any() {
+			continue
+		}
+		bitset.Gather(r.row(dst, from), srow, rows, r.w)
+	}
+}
+
+func (r *nnwaBitsetRunner) StepCall(sym int) {
+	c := r.c
+	sym = clampSym(sym, c.syms)
+	below := nnwaBitsetFrame{S: r.S, R: r.R, sym: sym}
+	r.stack = append(r.stack, below)
+	S, R := r.fresh()
+	// A new context opens: the summary resets to the identity and the
+	// reachable set advances through the linear call successors.
+	for q := 0; q < c.num; q++ {
+		r.row(S, q).Set(q)
+	}
+	bitset.Gather(R, below.R, c.symTable(c.callMask, sym), r.w)
+	r.S, r.R = S, R
+}
+
+func (r *nnwaBitsetRunner) StepInternal(sym int) {
+	c := r.c
+	sym = clampSym(sym, c.syms)
+	S, R := r.fresh()
+	table := c.symTable(c.intMask, sym)
+	r.compose(S, r.S, table)
+	bitset.Gather(R, r.R, table, r.w)
+	r.recycle(r.S, r.R)
+	r.S, r.R = S, R
+}
+
+// stitch fills the scratch table T with the per-mid return rows for this
+// event: T[mid] is the set of states some run reaches after the return when
+// the pre-call stretch ended in mid.  Only the mids live in sel (the union
+// of the source rows and reachable set) are built.  For a matched return
+// the row composes call edge, inner summary, and return edge; for a pending
+// return the hierarchical edge is labelled with the initial states, as in
+// Section 3.1.
+func (r *nnwaBitsetRunner) stitch(sel bitset.Row, matched bool, callSym, sym int) {
+	c := r.c
+	clearWords(r.T)
+	for mid := sel.NextSet(0); mid >= 0; mid = sel.NextSet(mid + 1) {
+		trow := r.row(r.T, mid)
+		if matched {
+			lins, hiers := c.callSucc(mid, callSym)
+			for i, lin := range lins {
+				hier := hiers[i]
+				inner := r.row(r.S, int(lin))
+				for to2 := inner.NextSet(0); to2 >= 0; to2 = inner.NextSet(to2 + 1) {
+					for _, to := range c.returnSucc(int32(to2), hier, sym) {
+						trow.Set(int(to))
+					}
+				}
+			}
+		} else {
+			for _, q0 := range c.starts {
+				for _, to := range c.returnSucc(int32(mid), q0, sym) {
+					trow.Set(int(to))
+				}
+			}
+		}
+	}
+}
+
+func (r *nnwaBitsetRunner) StepReturn(sym int) {
+	c := r.c
+	sym = clampSym(sym, c.syms)
+	S, R := r.fresh()
+	if n := len(r.stack); n == 0 {
+		// Pending return: stitch from the current sets directly.
+		r.liveMids(r.S, r.R)
+		r.stitch(r.sel, false, 0, sym)
+		r.compose(S, r.S, r.T)
+		bitset.Gather(R, r.R, r.T, r.w)
+	} else {
+		below := r.stack[n-1]
+		r.stack = r.stack[:n-1]
+		// Matched return: stitch the context below the call to the summary
+		// inside it through the call and return relations, then compose the
+		// frame's sets through the stitched rows.
+		r.liveMids(below.S, below.R)
+		r.stitch(r.sel, true, below.sym, sym)
+		r.compose(S, below.S, r.T)
+		bitset.Gather(R, below.R, r.T, r.w)
+		r.recycle(below.S, below.R)
+	}
+	r.recycle(r.S, r.R)
+	r.S, r.R = S, R
+}
+
+// liveMids collects into sel the union of every row of S plus R — the mids
+// the return stitch can actually reach, so stitch skips dead states.
+func (r *nnwaBitsetRunner) liveMids(S []uint64, R bitset.Row) {
+	r.sel.Zero()
+	for q := 0; q < r.c.num; q++ {
+		r.sel.Or(r.row(S, q))
+	}
+	r.sel.Or(R)
+}
+
+func (r *nnwaBitsetRunner) Accepting() bool {
+	return r.R.Intersects(r.c.acceptRow)
+}
+
+func (r *nnwaBitsetRunner) Reset() {
+	for n := len(r.stack); n > 0; n = len(r.stack) {
+		f := r.stack[n-1]
+		r.stack = r.stack[:n-1]
+		r.recycle(f.S, f.R)
+	}
+	clearWords(r.S)
+	r.R.Zero()
+	for q := 0; q < r.c.num; q++ {
+		r.row(r.S, q).Set(q)
+	}
+	r.R.Or(r.c.startRow)
+}
+
+// --- reference []bool matrix runner ------------------------------------
+
+// nnwaMatrixFrame is the matrix runner's per-open-element snapshot: the
+// summary and reachable sets as they stood just before the call, plus the
+// call symbol.
+type nnwaMatrixFrame struct {
 	S   []bool // num×num summary pairs
 	R   []bool // reachable set
 	sym int    // interned call symbol
 }
 
-// nnwaRunner simulates a nondeterministic NWA on line.  S holds the summary
-// pairs (q, q′) — some run moves the automaton from q to q′ across the
-// stretch since the innermost pending call — and R the states reachable from
-// an initial state over the whole prefix; each stack frame snapshots both
-// sets at its call.  The memory is O(numStates² · depth), still bounded by
-// the document depth, and popped frames are recycled through a free list so
-// steady-state streaming does not allocate per element.
-type nnwaRunner struct {
+// nnwaMatrixRunner simulates a nondeterministic NWA on line with unpacked
+// []bool sets.  S holds the summary pairs (q, q′) — some run moves the
+// automaton from q to q′ across the stretch since the innermost pending
+// call — and R the states reachable from an initial state over the whole
+// prefix; each stack frame snapshots both sets at its call.  The memory is
+// O(numStates² · depth), still bounded by the document depth, and popped
+// frames are recycled through a free list.  It is the reference
+// implementation the bitset runner is differentially tested against.
+type nnwaMatrixRunner struct {
 	c     *CompiledN
 	S     []bool
 	R     []bool
-	stack []nnwaFrame
-	free  []nnwaFrame
+	stack []nnwaMatrixFrame
+	free  []nnwaMatrixFrame
 }
 
 // fresh returns zeroed S and R buffers, reusing a recycled frame when one is
 // available.
-func (r *nnwaRunner) fresh() ([]bool, []bool) {
+func (r *nnwaMatrixRunner) fresh() ([]bool, []bool) {
 	if n := len(r.free); n > 0 {
 		f := r.free[n-1]
 		r.free = r.free[:n-1]
@@ -218,8 +498,8 @@ func (r *nnwaRunner) fresh() ([]bool, []bool) {
 	return make([]bool, r.c.num*r.c.num), make([]bool, r.c.num)
 }
 
-func (r *nnwaRunner) recycle(S, R []bool) {
-	r.free = append(r.free, nnwaFrame{S: S, R: R})
+func (r *nnwaMatrixRunner) recycle(S, R []bool) {
+	r.free = append(r.free, nnwaMatrixFrame{S: S, R: R})
 }
 
 func clearBools(b []bool) {
@@ -228,10 +508,10 @@ func clearBools(b []bool) {
 	}
 }
 
-func (r *nnwaRunner) StepCall(sym int) {
+func (r *nnwaMatrixRunner) StepCall(sym int) {
 	c := r.c
 	sym = clampSym(sym, c.syms)
-	below := nnwaFrame{S: r.S, R: r.R, sym: sym}
+	below := nnwaMatrixFrame{S: r.S, R: r.R, sym: sym}
 	r.stack = append(r.stack, below)
 	S, R := r.fresh()
 	// A new context opens: the summary resets to the identity and the
@@ -251,7 +531,7 @@ func (r *nnwaRunner) StepCall(sym int) {
 	r.S, r.R = S, R
 }
 
-func (r *nnwaRunner) StepInternal(sym int) {
+func (r *nnwaMatrixRunner) StepInternal(sym int) {
 	c := r.c
 	sym = clampSym(sym, c.syms)
 	S, R := r.fresh()
@@ -279,7 +559,7 @@ func (r *nnwaRunner) StepInternal(sym int) {
 	r.S, r.R = S, R
 }
 
-func (r *nnwaRunner) StepReturn(sym int) {
+func (r *nnwaMatrixRunner) StepReturn(sym int) {
 	c := r.c
 	sym = clampSym(sym, c.syms)
 	num := c.num
@@ -358,7 +638,7 @@ func (r *nnwaRunner) StepReturn(sym int) {
 	r.S, r.R = S, R
 }
 
-func (r *nnwaRunner) Accepting() bool {
+func (r *nnwaMatrixRunner) Accepting() bool {
 	for q := 0; q < r.c.num; q++ {
 		if r.R[q] && r.c.accept[q] {
 			return true
@@ -367,7 +647,7 @@ func (r *nnwaRunner) Accepting() bool {
 	return false
 }
 
-func (r *nnwaRunner) Reset() {
+func (r *nnwaMatrixRunner) Reset() {
 	for n := len(r.stack); n > 0; n = len(r.stack) {
 		f := r.stack[n-1]
 		r.stack = r.stack[:n-1]

@@ -1,0 +1,88 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fuzzAut is one cached fuzz subject: a random NNWA compiled both ways plus
+// its determinized DNWA, so every fuzz iteration reuses the (comparatively
+// expensive) Determinize call.
+type fuzzAut struct {
+	c   *CompiledN
+	det *Compiled
+}
+
+var (
+	fuzzMu   sync.Mutex
+	fuzzAuts = map[uint8]*fuzzAut{}
+)
+
+// fuzzAutomaton derives a small random NNWA from the seed byte, with the
+// occasional extra start and accept state so the subset simulation starts
+// and finishes on non-singleton sets.
+func fuzzAutomaton(seed uint8) *fuzzAut {
+	fuzzMu.Lock()
+	defer fuzzMu.Unlock()
+	if a, ok := fuzzAuts[seed]; ok {
+		return a
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	// 2–3 states keeps Determinize (2^(s²) worst case) fast for every seed,
+	// so no single fuzz exec can stall the 10-second CI smoke run.
+	states := 2 + rng.Intn(2)
+	n := randomNNWA(rng, states)
+	if rng.Intn(2) == 0 {
+		n.AddStart(rng.Intn(states))
+	}
+	if rng.Intn(2) == 0 {
+		n.AddAccept(rng.Intn(states))
+	}
+	a := &fuzzAut{c: CompileN(n), det: Compile(n.Determinize())}
+	fuzzAuts[seed] = a
+	return a
+}
+
+// FuzzNNWARunnerDifferential is the ISSUE's differential fuzz target: an
+// arbitrary byte string decodes to an arbitrary nested word — each byte
+// picks an event kind (call / internal / return) and a symbol (two
+// in-alphabet labels plus the out-of-alphabet ID), so well-matched words,
+// pending calls, and pending returns all occur — and the bitset state-set
+// runner, the []bool matrix reference runner, and Determinize+DNWA must
+// report the same verdict after every prefix.
+func FuzzNNWARunnerDifferential(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(1), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(7), []byte{0, 0, 4, 2, 2, 5})   // nested calls, matched and pending
+	f.Add(uint8(42), []byte{2, 5, 8, 1, 0, 2})  // pending returns first
+	f.Add(uint8(255), []byte{6, 7, 8, 6, 7, 8}) // out-of-alphabet symbols
+	f.Fuzz(func(t *testing.T, seed uint8, word []byte) {
+		if len(word) > 4096 {
+			word = word[:4096] // bound stack depth and per-input runtime
+		}
+		aut := fuzzAutomaton(seed)
+		bit := aut.c.NewRunner()
+		matrix := aut.c.NewReferenceRunner()
+		det := aut.det.NewRunner()
+		for pos, b := range word {
+			kind := int(b) % 3
+			sym := int(b/3) % 3 // 0,1 are in-alphabet; 2 is the out-of-alphabet ID
+			for _, r := range []Runner{bit, matrix, det} {
+				switch kind {
+				case 0:
+					r.StepCall(sym)
+				case 1:
+					r.StepInternal(sym)
+				default:
+					r.StepReturn(sym)
+				}
+			}
+			bv, mv, dv := bit.Accepting(), matrix.Accepting(), det.Accepting()
+			if bv != mv || bv != dv {
+				t.Fatalf("seed %d, prefix %d (kind %d, sym %d): bitset %v, matrix %v, Determinize+DNWA %v",
+					seed, pos+1, kind, sym, bv, mv, dv)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/generator"
 	"repro/internal/nestedword"
+	"repro/internal/nwa"
 	"repro/internal/query"
 )
 
@@ -131,6 +132,94 @@ func TestPoolMatchesSerialEngine(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+	}
+}
+
+// TestPoolServesNNWAQuery threads the nondeterministic bitset state-set
+// runner through the whole serving stack: a CompileN'd NNWA registered next
+// to a compiled DNWA for the same language ("contains label a"), served
+// through a sharded pool, must agree with the deterministic query and with
+// serial engine evaluation on every document — including adversarial
+// streams with pending calls/returns and out-of-alphabet labels.
+func TestPoolServesNNWAQuery(t *testing.T) {
+	alpha := alphabet.New("a", "b", "c")
+	// State 0 = "a not seen", 1 = "a seen"; the linear state carries the
+	// flag across calls, so the hierarchical state is irrelevant and the
+	// automaton accepts any word with an a-labelled position of any kind.
+	seen := func(q int, sym string) int {
+		if q == 1 || sym == "a" {
+			return 1
+		}
+		return 0
+	}
+	n := nwa.NewNNWA(alpha, 2)
+	n.AddStart(0).AddAccept(1)
+	for q := 0; q < 2; q++ {
+		for _, sym := range []string{"a", "b", "c"} {
+			n.AddInternal(q, sym, seen(q, sym))
+			n.AddCall(q, sym, seen(q, sym), q)
+			for h := 0; h < 2; h++ {
+				n.AddReturn(q, h, sym, seen(q, sym))
+			}
+		}
+	}
+	eng := engine.New()
+	eng.MustRegisterQuery("contains a (nnwa)", query.CompileN(n))
+	eng.MustRegister("contains a (dnwa)", query.ContainsLabel(alpha, "a"))
+
+	pool, err := NewPool(eng, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(606))
+	for d := 0; d < 150; d++ {
+		var events []docstream.Event
+		if d%2 == 0 {
+			stream := generator.NewDocumentStream(int64(d), 20+rng.Intn(200), 8, []string{"a", "b", "c"})
+			for {
+				e, err := stream.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				events = append(events, e)
+			}
+		} else {
+			events = randomEvents(rng, 10+rng.Intn(150))
+		}
+		serial, err := eng.RunEvents(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fut, err := pool.SubmitEvents(context.Background(), fmt.Sprintf("doc-%d", d), events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fut.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, err := res.Engine.Verdict(eng, "contains a (nnwa)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := res.Engine.Verdict(eng, "contains a (dnwa)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nv != dv {
+			t.Fatalf("doc %d: NNWA verdict %v, DNWA verdict %v", d, nv, dv)
+		}
+		for q := range serial.Verdicts {
+			if res.Engine.Verdicts[q] != serial.Verdicts[q] {
+				t.Fatalf("doc %d query %d: pool %v, serial %v", d, q, res.Engine.Verdicts[q], serial.Verdicts[q])
+			}
+		}
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -6,7 +6,10 @@
 //   - every exported top-level identifier — funcs, methods on exported
 //     types, types, consts, vars — carries a doc comment;
 //   - every relative link in the repository's Markdown files points at a
-//     file or directory that exists.
+//     file or directory that exists;
+//   - every experiment ID in experiments.Index() appears in the
+//     docs/EXPERIMENTS.md index table, and vice versa, so the experiment
+//     documentation cannot drift from the code.
 //
 // It prints one line per violation and exits non-zero if there are any.
 package main
@@ -21,6 +24,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -38,6 +43,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := lintMarkdownLinks(root, report); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if err := lintExperimentIndex(root, report); err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
 	}
@@ -183,6 +192,38 @@ func receiverIsExported(recv *ast.FieldList, exported map[string]bool) bool {
 			return false
 		}
 	}
+}
+
+// experimentRow matches the ID cell of one docs/EXPERIMENTS.md index table
+// row ("| E21 | ... |").
+var experimentRow = regexp.MustCompile(`(?m)^\|\s*(E\d+)\s*\|`)
+
+// lintExperimentIndex cross-checks experiments.Index() against the index
+// table of docs/EXPERIMENTS.md: every ID the code knows must be documented,
+// and every documented ID must exist in the code.
+func lintExperimentIndex(root string, report func(string, ...any)) error {
+	path := filepath.Join(root, "docs", "EXPERIMENTS.md")
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("experiment index: %w", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range experimentRow.FindAllStringSubmatch(string(body), -1) {
+		documented[m[1]] = true
+	}
+	coded := map[string]bool{}
+	for _, info := range experiments.Index() {
+		coded[info.ID] = true
+		if !documented[info.ID] {
+			report("%s: experiment %s is in experiments.Index() but missing from the index table", path, info.ID)
+		}
+	}
+	for id := range documented {
+		if !coded[id] {
+			report("%s: experiment %s is documented but missing from experiments.Index()", path, id)
+		}
+	}
+	return nil
 }
 
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
