@@ -1,5 +1,5 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment (E1..E24, excluding E18 which was not implemented — see
+// per experiment (E1..E25, excluding E18 which was not implemented — see
 // docs/EXPERIMENTS.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
@@ -164,6 +164,12 @@ func BenchmarkE24_BitsetRunner(b *testing.B) {
 	}
 }
 
+func BenchmarkE25_ColdStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E25ColdStart(64))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -262,6 +268,15 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e24.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E24: bitset runner verdicts diverge from the matrix runner on row %v", row)
+		}
+	}
+	e25 := experiments.E25ColdStart(16)
+	if len(e25.Rows) == 0 {
+		t.Error("E25 produced no rows")
+	}
+	for _, row := range e25.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E25: bundle-loaded verdicts diverge from freshly compiled queries on row %v", row)
 		}
 	}
 }

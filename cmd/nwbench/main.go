@@ -5,8 +5,9 @@
 // the repository root (go test -bench=.).  Run with -list to print the
 // one-line summary of each experiment instead of computing anything, and
 // with -json DIR to additionally write one machine-readable BENCH_<ID>.json
-// file per serving-stack experiment (E21–E24) — the per-PR perf trajectory
-// CI uploads as a workflow artifact.
+// file per serving-stack experiment (experiments.ArtifactIDs(), E21–E25) —
+// the per-PR perf trajectory CI uploads as a workflow artifact and guards
+// with the scripts/benchcmp regression gate.
 package main
 
 import (
@@ -40,8 +41,15 @@ type benchRecord struct {
 }
 
 // jsonIDs selects the experiments whose tables are benchmark trajectories
-// worth recording per PR: the serving-stack ones with timing columns.
-var jsonIDs = map[string]bool{"E21": true, "E22": true, "E23": true, "E24": true}
+// worth recording per PR — experiments.ArtifactIDs(), the same list
+// scripts/repolint and scripts/benchcmp key on.
+var jsonIDs = func() map[string]bool {
+	ids := map[string]bool{}
+	for _, id := range experiments.ArtifactIDs() {
+		ids[id] = true
+	}
+	return ids
+}()
 
 func writeBenchJSON(dir, id string, table experiments.Table, wall time.Duration) error {
 	summary := ""
@@ -80,7 +88,7 @@ func writeBenchJSON(dir, id string, table experiments.Table, wall time.Duration)
 func main() {
 	quick := flag.Bool("quick", false, "use smaller parameter ranges for a fast smoke run")
 	list := flag.Bool("list", false, "print one line per experiment (the docs/EXPERIMENTS.md summaries) and exit")
-	jsonDir := flag.String("json", "", "write BENCH_<ID>.json files for the serving-stack experiments (E21–E24) into this directory")
+	jsonDir := flag.String("json", "", "write BENCH_<ID>.json files for the serving-stack experiments (E21–E25) into this directory")
 	flag.Parse()
 
 	if *list {
@@ -124,6 +132,7 @@ func main() {
 		{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(1000000, 32) }},
 		{"E23", func() experiments.Table { return experiments.E23ShardedServing(200, 5000) }},
 		{"E24", func() experiments.Table { return experiments.E24BitsetRunner(256) }},
+		{"E25", func() experiments.Table { return experiments.E25ColdStart(64) }},
 	}
 	entries := full
 	if *quick {
@@ -138,6 +147,7 @@ func main() {
 			{"E22", func() experiments.Table { return experiments.E22CompiledVsMap(100000, 24) }},
 			{"E23", func() experiments.Table { return experiments.E23ShardedServing(50, 1000) }},
 			{"E24", func() experiments.Table { return experiments.E24BitsetRunner(256) }},
+			{"E25", func() experiments.Table { return experiments.E25ColdStart(64) }},
 		}
 	}
 

@@ -6,10 +6,15 @@
 // Usage:
 //
 //	nwquery [-file doc.xml] [-labels l1,l2,...] [-order l1,l2,...] [-path l1,l2,...]
+//	nwquery [-file doc.xml] -queryset queries.nwq
 //
 // The query automata need the document's tag/text alphabet up front.  Pass
 // it with -labels to stay fully streaming; without -labels the document is
-// buffered once to discover the alphabet before the engine pass.
+// buffered once to discover the alphabet before the engine pass.  With
+// -queryset the compile step is skipped entirely: the serialized bundle
+// written by `nwtool compile` is loaded (mmap'd read-only where available)
+// and its alphabet and query set are used as-is, which both stays fully
+// streaming and makes cold starts independent of query complexity.
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 	labelsFlag := flag.String("labels", "", "comma-separated document alphabet: labels are interned to compiled symbol IDs at the tokenizer and the engine streams the input directly (labels not listed map to the out-of-alphabet ID and are uniformly rejected); without -labels the document is buffered once to discover the alphabet")
 	order := flag.String("order", "", "comma-separated labels for a linear-order query")
 	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
+	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`: boot from it instead of compiling (-labels/-order/-path must not be given; the bundle fixes the alphabet and the queries)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -43,43 +49,55 @@ func main() {
 		in = f
 	}
 
-	labels := splitLabels(*labelsFlag)
-	labels = append(labels, splitLabels(*order)...)
-	labels = append(labels, splitLabels(*path)...)
-
-	// Without -labels the alphabet must be discovered first, which costs one
-	// buffered tokenization; with -labels the engine consumes the reader
-	// directly and nothing proportional to the document is ever stored.
+	eng := engine.New()
+	var alpha *alphabet.Alphabet
 	var buffered []docstream.Event
-	if *labelsFlag == "" {
-		events, err := docstream.Tokenize(readAll(in))
+	if *queryset != "" {
+		// Bundle boot: the serialized tables are loaded (zero-copy over the
+		// mapped file) and registered as-is; no automaton is compiled and the
+		// pass is always fully streaming.
+		if *labelsFlag != "" || *order != "" || *path != "" {
+			fatal(fmt.Errorf("-queryset carries its own alphabet and queries; drop -labels/-order/-path"))
+		}
+		bundle, err := query.OpenBundle(*queryset)
 		if err != nil {
 			fatal(err)
 		}
-		buffered = events
-		seen := map[string]bool{}
-		for _, e := range events {
-			if !seen[e.Label] {
-				seen[e.Label] = true
-				labels = append(labels, e.Label)
-			}
-		}
-	}
-	alpha := alphabet.New(labels...)
-
-	eng := engine.New()
-	register := func(name string, q *query.Compiled) {
-		if _, err := eng.RegisterQuery(name, q); err != nil {
+		defer bundle.Close()
+		if _, err := eng.RegisterBundle(bundle); err != nil {
 			fatal(err)
 		}
-	}
-	register("well-formed", query.Compile(query.WellFormed(alpha)))
-	if *order != "" {
-		register("order "+*order, query.Compile(query.LinearOrder(alpha, splitLabels(*order)...)))
-	}
-	if *path != "" {
-		register("path //"+strings.ReplaceAll(*path, ",", "//"),
-			query.Compile(query.PathQuery(alpha, splitLabels(*path)...)))
+		alpha = bundle.Alphabet()
+	} else {
+		labels := query.SplitLabels(*labelsFlag)
+		labels = append(labels, query.SplitLabels(*order)...)
+		labels = append(labels, query.SplitLabels(*path)...)
+
+		// Without -labels the alphabet must be discovered first, which costs
+		// one buffered tokenization; with -labels the engine consumes the
+		// reader directly and nothing proportional to the document is ever
+		// stored.
+		if *labelsFlag == "" {
+			events, err := docstream.Tokenize(readAll(in))
+			if err != nil {
+				fatal(err)
+			}
+			buffered = events
+			seen := map[string]bool{}
+			for _, e := range events {
+				if !seen[e.Label] {
+					seen[e.Label] = true
+					labels = append(labels, e.Label)
+				}
+			}
+		}
+		alpha = alphabet.New(labels...)
+		names, queries := query.StandardSet(alpha, query.SplitLabels(*order), query.SplitLabels(*path))
+		for i, q := range queries {
+			if _, err := eng.RegisterQuery(names[i], q); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	var res *engine.Result
@@ -177,14 +195,4 @@ func readAll(r io.Reader) string {
 		fatal(err)
 	}
 	return string(data)
-}
-
-func splitLabels(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if trimmed := strings.TrimSpace(p); trimmed != "" {
-			out = append(out, trimmed)
-		}
-	}
-	return out
 }

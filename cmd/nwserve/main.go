@@ -6,6 +6,7 @@
 // Usage:
 //
 //	nwserve [-labels l1,l2,...] [-order l1,l2,...] [-path l1,l2,...]
+//	        [-queryset queries.nwq]
 //	        [-shards n] [-queue n] [-affinity hash|none]
 //	        [-dir directory] [file ...]
 //
@@ -21,7 +22,10 @@
 // -labels (labels are interned to compiled symbol IDs at the tokenizer;
 // labels not listed map to the dedicated out-of-alphabet ID and are
 // uniformly rejected); without -labels every document is tokenized once
-// before serving to discover the alphabet.
+// before serving to discover the alphabet.  With -queryset no automaton is
+// compiled at all: the serialized bundle written by `nwtool compile` is
+// mapped read-only and served as-is — the fleet cold-start path where many
+// front-end processes share one compiled query set on disk.
 package main
 
 import (
@@ -50,6 +54,7 @@ func main() {
 	labelsFlag := flag.String("labels", "", "comma-separated document alphabet; without it, documents are tokenized once up front to discover the labels")
 	order := flag.String("order", "", "comma-separated labels for a linear-order query")
 	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
+	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`: boot from it instead of compiling (-labels/-order/-path must not be given)")
 	dir := flag.String("dir", "", "serve every regular file under this directory")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of pool shards (worker sessions)")
 	queue := flag.Int("queue", 64, "bounded queue depth per shard (backpressure)")
@@ -69,43 +74,51 @@ func main() {
 		fatal(fmt.Errorf("no documents to serve"))
 	}
 
-	labels := splitLabels(*labelsFlag)
-	labels = append(labels, splitLabels(*order)...)
-	labels = append(labels, splitLabels(*path)...)
-	if *labelsFlag == "" {
-		// Discovery pass: tokenize every document once, collecting labels.
-		seen := map[string]bool{}
-		for _, l := range labels {
-			seen[l] = true
+	eng := engine.New()
+	if *queryset != "" {
+		// Bundle boot: no compilation; the bundle's tables (zero-copy over
+		// the mapped file) and alphabet serve as-is.
+		if *labelsFlag != "" || *order != "" || *path != "" {
+			fatal(fmt.Errorf("-queryset carries its own alphabet and queries; drop -labels/-order/-path"))
 		}
-		for _, d := range docs {
-			events, err := docstream.Tokenize(string(d.body))
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", d.name, err))
+		bundle, err := query.OpenBundle(*queryset)
+		if err != nil {
+			fatal(err)
+		}
+		defer bundle.Close()
+		if _, err := eng.RegisterBundle(bundle); err != nil {
+			fatal(err)
+		}
+	} else {
+		labels := query.SplitLabels(*labelsFlag)
+		labels = append(labels, query.SplitLabels(*order)...)
+		labels = append(labels, query.SplitLabels(*path)...)
+		if *labelsFlag == "" {
+			// Discovery pass: tokenize every document once, collecting labels.
+			seen := map[string]bool{}
+			for _, l := range labels {
+				seen[l] = true
 			}
-			for _, e := range events {
-				if !seen[e.Label] {
-					seen[e.Label] = true
-					labels = append(labels, e.Label)
+			for _, d := range docs {
+				events, err := docstream.Tokenize(string(d.body))
+				if err != nil {
+					fatal(fmt.Errorf("%s: %w", d.name, err))
+				}
+				for _, e := range events {
+					if !seen[e.Label] {
+						seen[e.Label] = true
+						labels = append(labels, e.Label)
+					}
 				}
 			}
 		}
-	}
-	alpha := alphabet.New(labels...)
-
-	eng := engine.New()
-	register := func(name string, q *query.Compiled) {
-		if _, err := eng.RegisterQuery(name, q); err != nil {
-			fatal(err)
+		alpha := alphabet.New(labels...)
+		names, queries := query.StandardSet(alpha, query.SplitLabels(*order), query.SplitLabels(*path))
+		for i, q := range queries {
+			if _, err := eng.RegisterQuery(names[i], q); err != nil {
+				fatal(err)
+			}
 		}
-	}
-	register("well-formed", query.Compile(query.WellFormed(alpha)))
-	if *order != "" {
-		register("order "+*order, query.Compile(query.LinearOrder(alpha, splitLabels(*order)...)))
-	}
-	if *path != "" {
-		register("path //"+strings.ReplaceAll(*path, ",", "//"),
-			query.Compile(query.PathQuery(alpha, splitLabels(*path)...)))
 	}
 
 	// Aggregate on the shard workers through the callback, so no future
@@ -233,14 +246,4 @@ func collectDocuments(dir string, files []string) ([]document, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "nwserve:", err)
 	os.Exit(1)
-}
-
-func splitLabels(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if trimmed := strings.TrimSpace(p); trimmed != "" {
-			out = append(out, trimmed)
-		}
-	}
-	return out
 }

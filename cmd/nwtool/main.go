@@ -1,6 +1,7 @@
 // Command nwtool inspects nested words given in the tagged notation of the
 // paper ("<a" call, "a" internal, "a>" return) or in the XML-like document
-// syntax, and reports their structural properties.
+// syntax, reports their structural properties, and compiles query sets to
+// serialized bundles.
 //
 // Usage:
 //
@@ -9,9 +10,21 @@
 //	nwtool tree  'a(b(),c(d()))'    encode an ordered tree as a tree word
 //	nwtool query '<doc> ... </doc>' LABEL...
 //	                                run the //LABEL1//LABEL2... path query
+//	nwtool compile -labels l1,l2 [-order ...] [-path ...] -o FILE
+//	                                compile the query set once and write a
+//	                                serialized bundle; nwquery and nwserve
+//	                                boot from it with -queryset FILE
+//	nwtool bundle FILE              describe a serialized bundle
+//
+// The compile subcommand builds exactly the query set nwquery and nwserve
+// build from the same -labels/-order/-path flags (well-formedness always,
+// the order and path queries when given) over the alphabet the flags
+// determine, so a bundle-booted server answers with verdicts identical to
+// in-process compilation.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -54,8 +67,63 @@ func main() {
 		fmt.Printf("document : %v\n", n)
 		fmt.Printf("query    : //%v\n", labels)
 		fmt.Printf("matches  : %v\n", q.Accepts(n))
+	case "compile":
+		compileBundle(os.Args[2:])
+	case "bundle":
+		describeBundle(os.Args[2])
 	default:
 		usage()
+	}
+}
+
+// compileBundle compiles the standard CLI query set once and writes it as a
+// serialized bundle that nwquery/nwserve boot from with -queryset.
+func compileBundle(args []string) {
+	fs := flag.NewFlagSet("nwtool compile", flag.ExitOnError)
+	labelsFlag := fs.String("labels", "", "comma-separated document alphabet (labels outside it map to the out-of-alphabet ID at serving time)")
+	order := fs.String("order", "", "comma-separated labels for a linear-order query")
+	path := fs.String("path", "", "comma-separated labels for a hierarchical path query")
+	out := fs.String("o", "queries.nwq", "output bundle file")
+	fs.Parse(args)
+
+	labels := query.SplitLabels(*labelsFlag)
+	labels = append(labels, query.SplitLabels(*order)...)
+	labels = append(labels, query.SplitLabels(*path)...)
+	if len(labels) == 0 {
+		exitOn(fmt.Errorf("compile: no alphabet — give -labels (and/or -order, -path)"))
+	}
+	alpha := alphabet.New(labels...)
+	names, queries := query.StandardSet(alpha, query.SplitLabels(*order), query.SplitLabels(*path))
+	bundle := query.NewBundle(alpha)
+	for i, q := range queries {
+		exitOn(bundle.Add(names[i], q))
+	}
+	data := bundle.Marshal()
+	exitOn(os.WriteFile(*out, data, 0o644))
+	fmt.Printf("wrote %s: %d queries over alphabet %v, %d bytes\n", *out, bundle.Len(), alpha, len(data))
+	for _, name := range bundle.Names() {
+		fmt.Printf("  %s\n", name)
+	}
+}
+
+// describeBundle loads a serialized bundle and summarizes its contents.
+func describeBundle(path string) {
+	b, err := query.OpenBundle(path)
+	exitOn(err)
+	defer b.Close()
+	fmt.Printf("bundle   : %s\n", path)
+	fmt.Printf("alphabet : %v (%d symbols)\n", b.Alphabet(), b.Alphabet().Size())
+	fmt.Printf("queries  : %d\n", b.Len())
+	for i, name := range b.Names() {
+		kind := "dnwa"
+		states := 0
+		switch c := b.Query(i).(type) {
+		case *query.Compiled:
+			states = c.NumStates()
+		case *query.CompiledN:
+			kind, states = "nnwa", c.NumStates()
+		}
+		fmt.Printf("  %-30s %s, %d states\n", name, kind, states)
 	}
 }
 
@@ -82,6 +150,7 @@ func exitOn(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query ARG [LABEL...]")
+	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query|compile|bundle ARG [LABEL...]")
+	fmt.Fprintln(os.Stderr, "       nwtool compile -labels l1,l2 [-order ...] [-path ...] -o FILE")
 	os.Exit(2)
 }

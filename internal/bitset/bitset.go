@@ -144,6 +144,16 @@ func (r Row) ForEach(f func(i int)) {
 	}
 }
 
+// Slab returns row i of a flat table of equal-width rows (w words each)
+// without copying: table[i*w : (i+1)*w].  A "word slab" — one []uint64
+// backing many rows — is how compiled automata store their per-symbol
+// successor masks, and because a Row is a plain slice the same view works
+// whether the slab was built in memory or points into a serialized query
+// set mapped read-only from disk (see internal/query/qset.go).
+func Slab(table []uint64, i, w int) Row {
+	return Row(table[i*w : i*w+w : i*w+w])
+}
+
 // Gather ORs into dst the w-word row table[i*w:(i+1)*w] for every element i
 // of sel: dst |= ⋃_{i∈sel} table[i].  It is the word-parallel composition
 // step of the state-set runner — advancing a set through precomputed

@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/query"
+)
+
+// TestRegisterBundle pins the bundle registration contract: queries land
+// under their bundle names in order, and re-registering the same bundle
+// fails on the duplicate names.
+func TestRegisterBundle(t *testing.T) {
+	alpha := alphabet.New("a", "b")
+	b := query.NewBundle(alpha)
+	if err := b.Add("well-formed", query.Compile(query.WellFormed(alpha))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("//a//b", query.Compile(query.PathQuery(alpha, "a", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := query.UnmarshalBundle(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New()
+	indices, err := e.RegisterBundle(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indices) != 2 || indices[0] != 0 || indices[1] != 1 {
+		t.Fatalf("indices = %v, want [0 1]", indices)
+	}
+	if names := e.Names(); names[0] != "well-formed" || names[1] != "//a//b" {
+		t.Fatalf("names = %v", names)
+	}
+	if !e.Alphabet().Equal(alpha) {
+		t.Fatalf("engine alphabet %v, want %v", e.Alphabet(), alpha)
+	}
+	if _, err := e.RegisterBundle(loaded); err == nil {
+		t.Error("re-registering the same bundle succeeded")
+	}
+}

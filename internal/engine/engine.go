@@ -141,6 +141,24 @@ func (e *Engine) MustRegisterQuery(name string, q query.Query) int {
 	return i
 }
 
+// RegisterBundle registers every query of a loaded bundle under its bundle
+// name, in bundle order, and returns their verdict indices.  This is how a
+// front-end boots from a serialized query set (query.OpenBundle) instead of
+// compiling per process: the bundle's tables — possibly aliasing an mmap'd
+// read-only region — are used as-is.  On error the engine may be left with
+// a prefix of the bundle registered; treat it as unusable.
+func (e *Engine) RegisterBundle(b *query.Bundle) ([]int, error) {
+	indices := make([]int, b.Len())
+	for i := 0; i < b.Len(); i++ {
+		idx, err := e.RegisterQuery(b.Name(i), b.Query(i))
+		if err != nil {
+			return nil, fmt.Errorf("engine: bundle query %q: %w", b.Name(i), err)
+		}
+		indices[i] = idx
+	}
+	return indices, nil
+}
+
 // Len returns the number of registered queries.
 func (e *Engine) Len() int { return len(e.queries) }
 

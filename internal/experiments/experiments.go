@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -1093,6 +1095,160 @@ func E24BitsetRunner(maxStates int) Table {
 	}
 }
 
+// e25QuerySpecs builds a deterministic family of n distinct deterministic
+// queries over the three-letter alphabet — path, linear-order, longer path,
+// and well-formedness variants cycling through label combinations — large
+// enough for the 1–64-query cold-start sweep.
+func e25QuerySpecs(alpha *alphabet.Alphabet, n int) (names []string, queries []*nwa.DNWA) {
+	ls := e21Labels
+	for i := 0; i < n; i++ {
+		a, b, c := ls[i%3], ls[(i/3)%3], ls[(i/9)%3]
+		var name string
+		var d *nwa.DNWA
+		switch i % 4 {
+		case 0:
+			name, d = fmt.Sprintf("#%d //%s//%s", i, a, b), query.PathQuery(alpha, a, b)
+		case 1:
+			name, d = fmt.Sprintf("#%d order %s,%s,%s", i, a, b, c), query.LinearOrder(alpha, a, b, c)
+		case 2:
+			name, d = fmt.Sprintf("#%d //%s//%s//%s", i, a, b, c), query.PathQuery(alpha, a, b, c)
+		default:
+			name, d = fmt.Sprintf("#%d well-formed", i), query.WellFormed(alpha)
+		}
+		names = append(names, name)
+		queries = append(queries, d)
+	}
+	return names, queries
+}
+
+// e25Boot times one cold boot repeatedly — build an engine ready to serve —
+// and returns the fastest attempt's engine and duration.
+func e25Boot(boot func() *engine.Engine) (*engine.Engine, time.Duration) {
+	const reps = 3
+	var best time.Duration
+	var eng *engine.Engine
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		e := boot()
+		if d := time.Since(t0); rep == 0 || d < best {
+			best, eng = d, e
+		}
+	}
+	return eng, best
+}
+
+// E25ColdStart measures the serialized query-set cold-start path against
+// per-process compilation: for 1–maxQueries queries, the time to construct
+// and compile the automata into a ready engine versus the time to decode a
+// bundle artifact from memory (query.UnmarshalBundle, copying the tables)
+// or to open the artifact file end to end (query.OpenBundle: open, mmap
+// where available, zero-copy validation with the tables aliasing the
+// mapped pages — exactly what `nwserve -queryset` pays, page faults
+// included).  The bundle is built and written once outside the timed
+// region, as `nwtool compile` writes it once for a whole fleet.  Every
+// booted engine must answer a generated document with identical verdicts;
+// the speedup column is the mmap open vs parse+compile.
+func E25ColdStart(maxQueries int) Table {
+	alpha := alphabet.New(e21Labels...)
+	dir, err := os.MkdirTemp("", "e25-bundles-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	rows := [][]string{}
+	for _, n := range []int{1, 4, 16, 64} {
+		if n > maxQueries {
+			continue
+		}
+		compiledEng, compile := e25Boot(func() *engine.Engine {
+			eng := engine.New()
+			names, ds := e25QuerySpecs(alpha, n)
+			for i, d := range ds {
+				eng.MustRegisterQuery(names[i], query.Compile(d))
+			}
+			return eng
+		})
+
+		names, ds := e25QuerySpecs(alpha, n)
+		bundle := query.NewBundle(alpha)
+		for i, d := range ds {
+			if err := bundle.Add(names[i], query.Compile(d)); err != nil {
+				panic(err)
+			}
+		}
+		data := bundle.Marshal()
+		path := filepath.Join(dir, fmt.Sprintf("bundle-%d.nwq", n))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			panic(err)
+		}
+
+		loadedEng, load := e25Boot(func() *engine.Engine {
+			b, err := query.UnmarshalBundle(data)
+			if err != nil {
+				panic(err)
+			}
+			eng := engine.New()
+			if _, err := eng.RegisterBundle(b); err != nil {
+				panic(err)
+			}
+			return eng
+		})
+		// The mmap side times the whole OpenBundle file path; the mappings
+		// stay open until the verdict check below has run against their
+		// tables.
+		var openBundles []*query.Bundle
+		mappedEng, mapped := e25Boot(func() *engine.Engine {
+			b, err := query.OpenBundle(path)
+			if err != nil {
+				panic(err)
+			}
+			openBundles = append(openBundles, b)
+			eng := engine.New()
+			if _, err := eng.RegisterBundle(b); err != nil {
+				panic(err)
+			}
+			return eng
+		})
+
+		agree := true
+		stream := func() *generator.DocumentStream {
+			return generator.NewDocumentStream(e21Seed, 20000, 16, e21Labels)
+		}
+		want, err := compiledEng.Run(stream())
+		if err != nil {
+			panic(err)
+		}
+		for _, eng := range []*engine.Engine{loadedEng, mappedEng} {
+			got, err := eng.Run(stream())
+			if err != nil {
+				panic(err)
+			}
+			for q := range want.Verdicts {
+				if got.Verdicts[q] != want.Verdicts[q] {
+					agree = false
+				}
+			}
+		}
+		for _, b := range openBundles {
+			if err := b.Close(); err != nil {
+				panic(err)
+			}
+		}
+
+		us := func(d time.Duration) string { return ftoa(float64(d.Nanoseconds()) / 1e3) }
+		rows = append(rows, []string{
+			itoa(n), ftoa(float64(len(data)) / 1024),
+			us(compile), us(load), us(mapped),
+			ftoa(float64(compile) / float64(mapped)), btoa(agree),
+		})
+	}
+	return Table{
+		Name:   "E25 (qset): bundle load / mmap cold start vs parse+compile, same ready-to-serve engine",
+		Header: []string{"queries", "bundle KB", "compile µs", "load µs", "mmap µs", "speedup", "agree"},
+		Rows:   rows,
+	}
+}
+
 // Info is one entry of the experiment index: the ID accepted by cmd/nwbench
 // and a one-line summary.  `nwbench -list` prints these lines, and
 // docs/EXPERIMENTS.md repeats them, so the index is the single source of
@@ -1128,8 +1284,17 @@ func Index() []Info {
 		{"E22", "query API: compiled dense tables + interned symbols vs map-keyed stepping"},
 		{"E23", "serve: sharded multi-document pool vs serial and goroutine-per-document"},
 		{"E24", "bitset: packed uint64 summary rows vs []bool matrix NNWA runner, 4–256 states"},
+		{"E25", "qset: serialized bundle load / mmap cold start vs parse+compile, 1–64 queries"},
 	}
 }
+
+// ArtifactIDs lists the experiments whose tables cmd/nwbench -json records
+// as BENCH_<ID>.json benchmark artifacts — the serving-stack experiments
+// with timing columns.  scripts/repolint cross-checks the committed
+// BENCH_E*.json files at the repository root against this list, and
+// scripts/benchcmp compares fresh artifacts against previous ones, so the
+// list is the single source of truth for what the perf trajectory tracks.
+func ArtifactIDs() []string { return []string{"E21", "E22", "E23", "E24", "E25"} }
 
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
@@ -1157,6 +1322,7 @@ func All() []Table {
 		E22CompiledVsMap(200000, 32),
 		E23ShardedServing(100, 2000),
 		E24BitsetRunner(256),
+		E25ColdStart(64),
 	}
 }
 

@@ -178,8 +178,7 @@ func CompileN(n *nwa.NNWA) *CompiledN {
 
 // maskRow slices one state's successor row out of a per-symbol mask table.
 func (c *CompiledN) maskRow(table []uint64, sym, q int) bitset.Row {
-	i := (sym*c.num + q) * c.w
-	return bitset.Row(table[i : i+c.w])
+	return bitset.Slab(table, sym*c.num+q, c.w)
 }
 
 // symTable slices one symbol's whole num-row mask table, in the flat layout
@@ -330,7 +329,7 @@ func clearWords(w []uint64) {
 
 // row slices row i of a num×w matrix.
 func (r *nnwaBitsetRunner) row(m []uint64, i int) bitset.Row {
-	return bitset.Row(m[i*r.w : i*r.w+r.w])
+	return bitset.Slab(m, i, r.w)
 }
 
 // compose sets dst[from] = ⋃_{mid ∈ src[from]} rows[mid] for every from,

@@ -1,0 +1,296 @@
+// Package format implements the versioned, little-endian on-disk container
+// behind the query package's serialized compiled query sets: a fixed header
+// (magic, version, object kind, flags), a section directory up front (one
+// tag/offset/length triple per section, every offset 8-byte aligned), and
+// the raw section payloads.  The layout is deliberately position-independent
+// and alignment-friendly so a reader can point int32/uint64 table slices
+// directly into an mmap'd byte region — the zero-copy load path a fleet of
+// front-ends uses to share one compiled query set instead of recompiling per
+// process.
+//
+// The package knows nothing about automata: it moves tagged byte sections,
+// typed little-endian slices, and string lists.  What the sections mean —
+// transition tables, alphabets, bitset mask slabs — is the query package's
+// business (see internal/query/qset.go for the section registry and the
+// documented file layout).
+//
+// Every decoding entry point validates bounds before allocating, and all
+// allocation sizes are bounded by the input length, so arbitrary bytes fail
+// cleanly (an error, never a panic or an attacker-sized allocation).
+package format
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Magic is the four-byte file signature opening every container.
+const Magic = "NWQ1"
+
+// Version is the container format version this package reads and writes.
+// Readers reject any other version, so the format cannot drift silently.
+const Version = 1
+
+// Object kinds: what the container as a whole serializes.  The kind is part
+// of the header, so a loader knows how to interpret the sections before
+// touching any of them.
+const (
+	// KindDNWA marks a serialized compiled deterministic NWA.
+	KindDNWA = 1
+	// KindNNWA marks a serialized compiled nondeterministic NWA.
+	KindNNWA = 2
+	// KindBundle marks a named multi-query set with one shared alphabet.
+	KindBundle = 3
+)
+
+const (
+	headerSize   = 24 // magic + version + kind + flags + count + reserved
+	dirEntrySize = 24 // tag + pad + offset + length
+)
+
+// section is one pending payload inside a Writer.
+type section struct {
+	tag  uint32
+	data []byte
+}
+
+// Writer accumulates tagged sections and serializes them behind the fixed
+// header and directory.  Sections are emitted in Add order; repeated tags
+// are allowed (the bundle encoding stores one section per query).
+type Writer struct {
+	kind  uint32
+	flags uint32
+	secs  []section
+}
+
+// NewWriter starts a container of the given object kind.
+func NewWriter(kind uint32) *Writer { return &Writer{kind: kind} }
+
+// SetFlags stores the 32 header flag bits (kind-specific).
+func (w *Writer) SetFlags(f uint32) { w.flags = f }
+
+// Bytes appends a raw byte section.  The slice is retained until Finish.
+func (w *Writer) Bytes(tag uint32, b []byte) {
+	w.secs = append(w.secs, section{tag, b})
+}
+
+// Int32s appends a section holding the values in little-endian order.
+func (w *Writer) Int32s(tag uint32, v []int32) {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	w.Bytes(tag, b)
+}
+
+// Uint64s appends a section holding the values in little-endian order.
+func (w *Writer) Uint64s(tag uint32, v []uint64) {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], x)
+	}
+	w.Bytes(tag, b)
+}
+
+// Strings appends a section holding a string list: a uvarint count followed
+// by one uvarint-length-prefixed byte string per entry.
+func (w *Writer) Strings(tag uint32, v []string) {
+	b := binary.AppendUvarint(nil, uint64(len(v)))
+	for _, s := range v {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	w.Bytes(tag, b)
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// Finish lays the container out: header, directory, then every section at
+// an 8-byte-aligned offset.  The result is self-contained and deterministic
+// for a given Add sequence.
+func (w *Writer) Finish() []byte {
+	off := headerSize + dirEntrySize*len(w.secs) // a multiple of 8 by construction
+	offs := make([]int, len(w.secs))
+	total := off
+	for i, s := range w.secs {
+		total = align8(total)
+		offs[i] = total
+		total += len(s.data)
+	}
+	out := make([]byte, align8(total))
+	copy(out[0:4], Magic)
+	binary.LittleEndian.PutUint32(out[4:], Version)
+	binary.LittleEndian.PutUint32(out[8:], w.kind)
+	binary.LittleEndian.PutUint32(out[12:], w.flags)
+	binary.LittleEndian.PutUint32(out[16:], uint32(len(w.secs)))
+	for i, s := range w.secs {
+		e := out[headerSize+dirEntrySize*i:]
+		binary.LittleEndian.PutUint32(e, s.tag)
+		binary.LittleEndian.PutUint64(e[8:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
+		copy(out[offs[i]:], s.data)
+	}
+	return out
+}
+
+// Section is one decoded directory entry: its tag and the payload bytes,
+// which alias the container data (no copy).
+type Section struct {
+	Tag  uint32
+	Data []byte
+}
+
+// Reader parses a container header and directory and hands out section
+// payloads as subslices of the input — the input may be an mmap'd region,
+// and nothing here copies it.
+type Reader struct {
+	kind  uint32
+	flags uint32
+	secs  []Section
+}
+
+// NewReader validates the header and the directory (magic, version, every
+// offset/length in bounds and 8-byte aligned) without touching any payload.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("format: %d bytes is shorter than the %d-byte header", len(data), headerSize)
+	}
+	if string(data[0:4]) != Magic {
+		return nil, fmt.Errorf("format: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
+		return nil, fmt.Errorf("format: unsupported version %d (want %d)", v, Version)
+	}
+	r := &Reader{
+		kind:  binary.LittleEndian.Uint32(data[8:]),
+		flags: binary.LittleEndian.Uint32(data[12:]),
+	}
+	count := binary.LittleEndian.Uint32(data[16:])
+	if uint64(count) > uint64(len(data)-headerSize)/dirEntrySize {
+		return nil, fmt.Errorf("format: directory claims %d sections, input holds at most %d",
+			count, (len(data)-headerSize)/dirEntrySize)
+	}
+	r.secs = make([]Section, count)
+	for i := range r.secs {
+		e := data[headerSize+dirEntrySize*i:]
+		tag := binary.LittleEndian.Uint32(e)
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if off%8 != 0 {
+			return nil, fmt.Errorf("format: section %d (tag %d) at unaligned offset %d", i, tag, off)
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("format: section %d (tag %d) [%d,+%d) exceeds the %d input bytes",
+				i, tag, off, length, len(data))
+		}
+		r.secs[i] = Section{Tag: tag, Data: data[off : off+length : off+length]}
+	}
+	return r, nil
+}
+
+// Kind returns the object kind from the header.
+func (r *Reader) Kind() uint32 { return r.kind }
+
+// Flags returns the header flag bits.
+func (r *Reader) Flags() uint32 { return r.flags }
+
+// Section returns the payload of the first section carrying the tag.
+func (r *Reader) Section(tag uint32) ([]byte, bool) {
+	for _, s := range r.secs {
+		if s.Tag == tag {
+			return s.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Sections returns the payloads of every section carrying the tag, in
+// directory order.
+func (r *Reader) Sections(tag uint32) [][]byte {
+	var out [][]byte
+	for _, s := range r.secs {
+		if s.Tag == tag {
+			out = append(out, s.Data)
+		}
+	}
+	return out
+}
+
+// hostLittleEndian reports whether reinterpreting byte sections as typed
+// slices yields little-endian semantics — true on every platform the module
+// targets; the decoders fall back to an explicit copy elsewhere.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// Int32s decodes a section as little-endian int32 values.  With zeroCopy the
+// returned slice aliases b when the platform and alignment allow it (the
+// mmap fast path); otherwise — and always without zeroCopy — the values are
+// copied out.
+func Int32s(b []byte, zeroCopy bool) ([]int32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("format: int32 section length %d is not a multiple of 4", len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// Uint64s decodes a section as little-endian uint64 values, aliasing b under
+// the same conditions as Int32s.
+func Uint64s(b []byte, zeroCopy bool) ([]uint64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("format: uint64 section length %d is not a multiple of 8", len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out, nil
+}
+
+// Strings decodes a string-list section written by Writer.Strings.  Every
+// length is validated against the remaining input before any allocation, so
+// a corrupt count cannot trigger an oversized make.
+func Strings(b []byte) ([]string, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("format: string list has no count")
+	}
+	b = b[sz:]
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("format: string list claims %d entries in %d bytes", n, len(b))
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || l > uint64(len(b)-sz) {
+			return nil, fmt.Errorf("format: string %d overruns its section", i)
+		}
+		b = b[sz:]
+		out = append(out, string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("format: %d trailing bytes after string list", len(b))
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package format
+
+import (
+	"fmt"
+	"os"
+)
+
+// Map reads path into memory on platforms without a usable mmap syscall;
+// the returned close function is a no-op.  The zero-copy table views still
+// apply — they alias the read buffer instead of a mapped region.
+func Map(path string) ([]byte, func() error, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("format: %s is empty", path)
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,43 @@
+//go:build unix
+
+package format
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Map opens path for reading and maps it read-only, returning the mapped
+// bytes and a close function that unmaps them.  Any number of processes can
+// Map the same compiled query set: the pages are shared, so a fleet of
+// front-ends pays for one resident copy of the tables.  When the file system
+// refuses mmap the data is read into memory instead and the close function
+// is a no-op.
+func Map(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("format: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("format: %s is too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("format: mmap %s: %w", path, err)
+		}
+		return b, func() error { return nil }, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,776 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alphabet"
+	"repro/internal/bitset"
+	"repro/internal/query/format"
+)
+
+// This file serializes the compiled automata: compiled tables are immutable
+// and deterministic, so once a query set is compiled it can be written to
+// disk as a versioned little-endian artifact and booted by any number of
+// front-end processes without recompiling — the "compiled-query persistence"
+// direction of the roadmap.  The container layout (header, section
+// directory, 8-byte-aligned payloads) lives in the format subpackage; this
+// file owns the section registry and the semantic validation.
+//
+// Three object kinds exist:
+//
+//   - a Compiled DNWA (format.KindDNWA): meta, alphabet, accept bytes, the
+//     dense call/internal tables, and either the dense return table or the
+//     sorted sparse key/value pair;
+//   - a CompiledN NNWA (format.KindNNWA): meta, alphabet, starts, accept
+//     bytes, the CSR call/internal/return adjacency, and the per-symbol
+//     successor bitmask slabs;
+//   - a Bundle (format.KindBundle): one shared alphabet, the query names,
+//     and one embedded per-query blob (a full KindDNWA/KindNNWA container
+//     minus its alphabet section) per query.
+//
+// Unmarshal* copy every table out of the input; LoadQueryMapped /
+// LoadBundleMapped point the int32/uint64 table slices directly into the
+// provided byte region via checked reinterpretation, and OpenBundle maps a
+// file read-only (mmap where available) and loads zero-copy — the cold-boot
+// path experiment E25 measures against parse+compile.
+//
+// Every decode path validates the tables before a runner can touch them —
+// lengths against num/syms, targets against the state range, offsets
+// monotonic, sparse keys strictly ascending, mask bits beyond the state
+// range clear — so arbitrary bytes fail with an error rather than a panic,
+// and no allocation is sized by attacker-controlled fields beyond the input
+// length.
+
+// Section tags of the serialized compiled-query containers.  Tags are
+// stable; new sections may be added in later versions but existing ones
+// never change meaning.
+const (
+	secMeta     = 1  // uint64s: kind-specific dimensions and flags
+	secAlphabet = 2  // string list: alphabet symbols in index order
+	secAccept   = 3  // bytes: one 0/1 byte per state
+	secCallLin  = 4  // int32s: linear call targets
+	secCallHier = 5  // int32s: hierarchical call targets
+	secInternal = 6  // int32s: internal targets (DNWA dense table)
+	secReturnT  = 7  // int32s: DNWA dense return table
+	secRetKeys  = 8  // uint64s: sparse return keys, strictly ascending
+	secRetVals  = 9  // int32s: DNWA sparse return values
+	secStarts   = 10 // int32s: NNWA start states
+	secCallOff  = 11 // int32s: NNWA call CSR prefix offsets
+	secIntOff   = 12 // int32s: NNWA internal CSR prefix offsets
+	secIntTo    = 13 // int32s: NNWA internal CSR targets
+	secRetOff   = 14 // int32s: NNWA dense return CSR prefix offsets
+	secRetTo    = 15 // int32s: NNWA return CSR targets
+	secRetSpan  = 16 // int32s: NNWA sparse return key spans
+	secIntMask  = 17 // uint64s: NNWA per-symbol internal successor slab
+	secCallMask = 18 // uint64s: NNWA per-symbol call successor slab
+	secNames    = 19 // string list: bundle query names
+	secQuery    = 20 // bytes: one embedded query container per bundle query
+)
+
+// Decode limits: far beyond any automaton this repository compiles, but
+// small enough that no validation product overflows and no runner index
+// computation wraps.
+const (
+	maxStates  = 1 << 22
+	maxSymbols = 1 << 20
+)
+
+// mul returns a*b, reporting overflow or a negative operand as !ok.
+func mul(a, b int) (int, bool) {
+	if a < 0 || b < 0 {
+		return 0, false
+	}
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/a != b {
+		return 0, false
+	}
+	return p, true
+}
+
+func boolBytes(v []bool) []byte {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		if x {
+			b[i] = 1
+		}
+	}
+	return b
+}
+
+// Marshal serializes the compiled automaton, alphabet included, into a
+// standalone KindDNWA container.
+func (c *Compiled) Marshal() []byte { return c.encode(true) }
+
+func (c *Compiled) encode(includeAlpha bool) []byte {
+	w := format.NewWriter(format.KindDNWA)
+	dense := uint64(0)
+	if c.dense {
+		dense = 1
+	}
+	w.Uint64s(secMeta, []uint64{uint64(c.num), uint64(c.syms), uint64(c.start), uint64(c.dead), dense})
+	if includeAlpha {
+		w.Strings(secAlphabet, c.alpha.Symbols())
+	}
+	w.Bytes(secAccept, boolBytes(c.accept))
+	w.Int32s(secCallLin, c.callLin)
+	w.Int32s(secCallHier, c.callHier)
+	w.Int32s(secInternal, c.internT)
+	if c.dense {
+		w.Int32s(secReturnT, c.returnT)
+	} else {
+		w.Uint64s(secRetKeys, c.sparseR.keys)
+		w.Int32s(secRetVals, c.sparseR.vals)
+	}
+	return w.Finish()
+}
+
+// Marshal serializes the compiled automaton, alphabet included, into a
+// standalone KindNNWA container.
+func (c *CompiledN) Marshal() []byte { return c.encode(true) }
+
+func (c *CompiledN) encode(includeAlpha bool) []byte {
+	w := format.NewWriter(format.KindNNWA)
+	dense := uint64(0)
+	if c.dense {
+		dense = 1
+	}
+	w.Uint64s(secMeta, []uint64{uint64(c.num), uint64(c.syms), dense})
+	if includeAlpha {
+		w.Strings(secAlphabet, c.alpha.Symbols())
+	}
+	w.Int32s(secStarts, c.starts)
+	w.Bytes(secAccept, boolBytes(c.accept))
+	w.Int32s(secCallOff, c.callOff)
+	w.Int32s(secCallLin, c.callLin)
+	w.Int32s(secCallHier, c.callHier)
+	w.Int32s(secIntOff, c.intOff)
+	w.Int32s(secIntTo, c.intTo)
+	if c.dense {
+		w.Int32s(secRetOff, c.retOff)
+	} else {
+		w.Uint64s(secRetKeys, c.retKeys)
+		w.Int32s(secRetSpan, c.retSpan)
+	}
+	w.Int32s(secRetTo, c.retTo)
+	w.Uint64s(secIntMask, c.intMask)
+	w.Uint64s(secCallMask, c.callMask)
+	return w.Finish()
+}
+
+// decodeState holds what a single query decode needs: the parsed container,
+// the alphabet (shared by a bundle, or read from the blob's own section),
+// and whether table slices may alias the input bytes.
+type decodeState struct {
+	r        *format.Reader
+	alpha    *alphabet.Alphabet
+	zeroCopy bool
+}
+
+func (d *decodeState) section(tag uint32, what string) ([]byte, error) {
+	b, ok := d.r.Section(tag)
+	if !ok {
+		return nil, fmt.Errorf("query: serialized automaton is missing its %s section", what)
+	}
+	return b, nil
+}
+
+func (d *decodeState) int32s(tag uint32, what string) ([]int32, error) {
+	b, err := d.section(tag, what)
+	if err != nil {
+		return nil, err
+	}
+	v, err := format.Int32s(b, d.zeroCopy)
+	if err != nil {
+		return nil, fmt.Errorf("query: %s section: %w", what, err)
+	}
+	return v, nil
+}
+
+func (d *decodeState) uint64s(tag uint32, what string) ([]uint64, error) {
+	b, err := d.section(tag, what)
+	if err != nil {
+		return nil, err
+	}
+	v, err := format.Uint64s(b, d.zeroCopy)
+	if err != nil {
+		return nil, fmt.Errorf("query: %s section: %w", what, err)
+	}
+	return v, nil
+}
+
+// resolveAlphabet returns the shared alphabet, or reads the blob's own
+// alphabet section, and checks it against the serialized symbol count.
+func (d *decodeState) resolveAlphabet(syms int) error {
+	if d.alpha == nil {
+		b, err := d.section(secAlphabet, "alphabet")
+		if err != nil {
+			return err
+		}
+		symbols, err := format.Strings(b)
+		if err != nil {
+			return fmt.Errorf("query: alphabet section: %w", err)
+		}
+		d.alpha = alphabet.New(symbols...)
+		if d.alpha.Size() != len(symbols) {
+			return fmt.Errorf("query: serialized alphabet repeats a symbol (%d listed, %d distinct)",
+				len(symbols), d.alpha.Size())
+		}
+	}
+	if d.alpha.Size()+1 != syms {
+		return fmt.Errorf("query: automaton compiled over %d symbols, alphabet has %d",
+			syms-1, d.alpha.Size())
+	}
+	return nil
+}
+
+// decodeAccept reads the per-state accept bytes (always copied — []bool
+// cannot alias arbitrary bytes safely).
+func (d *decodeState) decodeAccept(num int) ([]bool, error) {
+	b, err := d.section(secAccept, "accept")
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != num {
+		return nil, fmt.Errorf("query: accept section holds %d states, automaton has %d", len(b), num)
+	}
+	accept := make([]bool, num)
+	for i, x := range b {
+		if x > 1 {
+			return nil, fmt.Errorf("query: accept byte %d is %d, want 0 or 1", i, x)
+		}
+		accept[i] = x == 1
+	}
+	return accept, nil
+}
+
+// checkTargets verifies every entry of a target table lies in [0, num).
+func checkTargets(what string, t []int32, num int) error {
+	for i, v := range t {
+		if v < 0 || int(v) >= num {
+			return fmt.Errorf("query: %s[%d] = %d outside the %d states", what, i, v, num)
+		}
+	}
+	return nil
+}
+
+// checkOffsets verifies a CSR prefix-offset table: the right length,
+// starting at zero, monotone, and ending exactly at the target count.
+func checkOffsets(what string, off []int32, cells, targets int) error {
+	if len(off) != cells+1 {
+		return fmt.Errorf("query: %s has %d offsets, want %d", what, len(off), cells+1)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("query: %s starts at %d, want 0", what, off[0])
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return fmt.Errorf("query: %s decreases at %d (%d < %d)", what, i, off[i], off[i-1])
+		}
+	}
+	if int(off[len(off)-1]) != targets {
+		return fmt.Errorf("query: %s ends at %d, targets hold %d entries", what, off[len(off)-1], targets)
+	}
+	return nil
+}
+
+// checkAscending verifies sparse return keys are strictly ascending (the
+// binary-search invariant).
+func checkAscending(keys []uint64) error {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return fmt.Errorf("query: sparse return keys not strictly ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// decodeCompiled rebuilds a Compiled from a KindDNWA container.
+func decodeCompiled(d *decodeState) (*Compiled, error) {
+	if d.r.Kind() != format.KindDNWA {
+		return nil, fmt.Errorf("query: container kind %d is not a compiled DNWA", d.r.Kind())
+	}
+	meta, err := d.uint64s(secMeta, "meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 5 {
+		return nil, fmt.Errorf("query: DNWA meta section holds %d values, want 5", len(meta))
+	}
+	num, syms := int(meta[0]), int(meta[1])
+	if num < 1 || num > maxStates {
+		return nil, fmt.Errorf("query: %d states outside [1, %d]", meta[0], maxStates)
+	}
+	if syms < 1 || syms > maxSymbols {
+		return nil, fmt.Errorf("query: %d symbol columns outside [1, %d]", meta[1], maxSymbols)
+	}
+	if meta[2] >= uint64(num) || meta[3] >= uint64(num) {
+		return nil, fmt.Errorf("query: start %d / dead %d outside the %d states", meta[2], meta[3], num)
+	}
+	c := &Compiled{
+		num:   num,
+		syms:  syms,
+		start: int32(meta[2]),
+		dead:  int32(meta[3]),
+		dense: meta[4] == 1,
+	}
+	if err := d.resolveAlphabet(syms); err != nil {
+		return nil, err
+	}
+	c.alpha = d.alpha
+	if c.accept, err = d.decodeAccept(num); err != nil {
+		return nil, err
+	}
+	cells, ok := mul(num, syms)
+	if !ok {
+		return nil, fmt.Errorf("query: %d×%d transition cells overflow", num, syms)
+	}
+	for _, t := range []struct {
+		tag  uint32
+		what string
+		dst  *[]int32
+	}{
+		{secCallLin, "call linear", &c.callLin},
+		{secCallHier, "call hierarchical", &c.callHier},
+		{secInternal, "internal", &c.internT},
+	} {
+		v, err := d.int32s(t.tag, t.what)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != cells {
+			return nil, fmt.Errorf("query: %s table holds %d cells, want %d", t.what, len(v), cells)
+		}
+		if err := checkTargets(t.what, v, num); err != nil {
+			return nil, err
+		}
+		*t.dst = v
+	}
+	if c.dense {
+		retCells, ok := mul(num, cells)
+		if !ok {
+			return nil, fmt.Errorf("query: dense return table for %d states overflows", num)
+		}
+		v, err := d.int32s(secReturnT, "dense return")
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != retCells {
+			return nil, fmt.Errorf("query: dense return table holds %d cells, want %d", len(v), retCells)
+		}
+		if err := checkTargets("dense return", v, num); err != nil {
+			return nil, err
+		}
+		c.returnT = v
+	} else {
+		keys, err := d.uint64s(secRetKeys, "sparse return keys")
+		if err != nil {
+			return nil, err
+		}
+		vals, err := d.int32s(secRetVals, "sparse return values")
+		if err != nil {
+			return nil, err
+		}
+		if len(keys) != len(vals) {
+			return nil, fmt.Errorf("query: %d sparse return keys vs %d values", len(keys), len(vals))
+		}
+		if err := checkAscending(keys); err != nil {
+			return nil, err
+		}
+		if err := checkTargets("sparse return", vals, num); err != nil {
+			return nil, err
+		}
+		c.sparseR = sparseTable{keys: keys, vals: vals}
+	}
+	return c, nil
+}
+
+// decodeCompiledN rebuilds a CompiledN from a KindNNWA container.
+func decodeCompiledN(d *decodeState) (*CompiledN, error) {
+	if d.r.Kind() != format.KindNNWA {
+		return nil, fmt.Errorf("query: container kind %d is not a compiled NNWA", d.r.Kind())
+	}
+	meta, err := d.uint64s(secMeta, "meta")
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 3 {
+		return nil, fmt.Errorf("query: NNWA meta section holds %d values, want 3", len(meta))
+	}
+	num, syms := int(meta[0]), int(meta[1])
+	if num < 1 || num > maxStates {
+		return nil, fmt.Errorf("query: %d states outside [1, %d]", meta[0], maxStates)
+	}
+	if syms < 1 || syms > maxSymbols {
+		return nil, fmt.Errorf("query: %d symbol columns outside [1, %d]", meta[1], maxSymbols)
+	}
+	c := &CompiledN{num: num, syms: syms, dense: meta[2] == 1, w: bitset.Words(num)}
+	if err := d.resolveAlphabet(syms); err != nil {
+		return nil, err
+	}
+	c.alpha = d.alpha
+	if c.accept, err = d.decodeAccept(num); err != nil {
+		return nil, err
+	}
+	if c.starts, err = d.int32s(secStarts, "start states"); err != nil {
+		return nil, err
+	}
+	if err := checkTargets("start states", c.starts, num); err != nil {
+		return nil, err
+	}
+	cells, ok := mul(num, syms)
+	if !ok {
+		return nil, fmt.Errorf("query: %d×%d transition cells overflow", num, syms)
+	}
+
+	// Call and internal CSR adjacency.
+	if c.callLin, err = d.int32s(secCallLin, "call linear"); err != nil {
+		return nil, err
+	}
+	if c.callHier, err = d.int32s(secCallHier, "call hierarchical"); err != nil {
+		return nil, err
+	}
+	if len(c.callHier) != len(c.callLin) {
+		return nil, fmt.Errorf("query: %d call linear targets vs %d hierarchical", len(c.callLin), len(c.callHier))
+	}
+	if c.callOff, err = d.int32s(secCallOff, "call offsets"); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("call offsets", c.callOff, cells, len(c.callLin)); err != nil {
+		return nil, err
+	}
+	if err := checkTargets("call linear", c.callLin, num); err != nil {
+		return nil, err
+	}
+	if err := checkTargets("call hierarchical", c.callHier, num); err != nil {
+		return nil, err
+	}
+	if c.intTo, err = d.int32s(secIntTo, "internal targets"); err != nil {
+		return nil, err
+	}
+	if c.intOff, err = d.int32s(secIntOff, "internal offsets"); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("internal offsets", c.intOff, cells, len(c.intTo)); err != nil {
+		return nil, err
+	}
+	if err := checkTargets("internal targets", c.intTo, num); err != nil {
+		return nil, err
+	}
+
+	// Return adjacency, dense prefix offsets or sorted key spans.
+	if c.retTo, err = d.int32s(secRetTo, "return targets"); err != nil {
+		return nil, err
+	}
+	if err := checkTargets("return targets", c.retTo, num); err != nil {
+		return nil, err
+	}
+	if c.dense {
+		retCells, ok := mul(num, cells)
+		if !ok {
+			return nil, fmt.Errorf("query: dense return index for %d states overflows", num)
+		}
+		if c.retOff, err = d.int32s(secRetOff, "return offsets"); err != nil {
+			return nil, err
+		}
+		if err := checkOffsets("return offsets", c.retOff, retCells, len(c.retTo)); err != nil {
+			return nil, err
+		}
+	} else {
+		if c.retKeys, err = d.uint64s(secRetKeys, "sparse return keys"); err != nil {
+			return nil, err
+		}
+		if err := checkAscending(c.retKeys); err != nil {
+			return nil, err
+		}
+		if c.retSpan, err = d.int32s(secRetSpan, "sparse return spans"); err != nil {
+			return nil, err
+		}
+		if err := checkOffsets("sparse return spans", c.retSpan, len(c.retKeys), len(c.retTo)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-symbol successor mask slabs, plus the derived start/accept rows.
+	slab, ok := mul(cells, c.w)
+	if !ok {
+		return nil, fmt.Errorf("query: %d×%d mask slab overflows", cells, c.w)
+	}
+	for _, t := range []struct {
+		tag  uint32
+		what string
+		dst  *[]uint64
+	}{
+		{secIntMask, "internal mask", &c.intMask},
+		{secCallMask, "call mask", &c.callMask},
+	} {
+		v, err := d.uint64s(t.tag, t.what)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != slab {
+			return nil, fmt.Errorf("query: %s slab holds %d words, want %d", t.what, len(v), slab)
+		}
+		if err := checkMaskBits(t.what, v, num, c.w); err != nil {
+			return nil, err
+		}
+		*t.dst = v
+	}
+	c.startRow = bitset.New(num)
+	for _, q := range c.starts {
+		c.startRow.Set(int(q))
+	}
+	c.acceptRow = bitset.New(num)
+	for q := 0; q < num; q++ {
+		if c.accept[q] {
+			c.acceptRow.Set(q)
+		}
+	}
+	return c, nil
+}
+
+// checkMaskBits rejects mask slabs with bits set beyond the state range:
+// a phantom high bit would make NextSet yield a state ≥ num and index the
+// adjacency tables out of range.
+func checkMaskBits(what string, slab []uint64, num, w int) error {
+	rem := uint(num) & 63
+	if rem == 0 {
+		return nil
+	}
+	high := ^uint64(0) << rem
+	for row := 0; row < len(slab)/w; row++ {
+		if slab[row*w+w-1]&high != 0 {
+			return fmt.Errorf("query: %s row %d sets bits beyond the %d states", what, row, num)
+		}
+	}
+	return nil
+}
+
+// decodeQuery dispatches on the container kind.
+func decodeQuery(data []byte, alpha *alphabet.Alphabet, zeroCopy bool) (Query, error) {
+	r, err := format.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &decodeState{r: r, alpha: alpha, zeroCopy: zeroCopy}
+	switch r.Kind() {
+	case format.KindDNWA:
+		return decodeCompiled(d)
+	case format.KindNNWA:
+		return decodeCompiledN(d)
+	default:
+		return nil, fmt.Errorf("query: container kind %d is not a compiled query", r.Kind())
+	}
+}
+
+// UnmarshalCompiled decodes a standalone serialized compiled DNWA, copying
+// every table out of data (data may be reused or mutated afterwards).
+func UnmarshalCompiled(data []byte) (*Compiled, error) {
+	q, err := decodeQuery(data, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := q.(*Compiled)
+	if !ok {
+		return nil, fmt.Errorf("query: container holds a nondeterministic automaton, want a compiled DNWA")
+	}
+	return c, nil
+}
+
+// UnmarshalCompiledN decodes a standalone serialized compiled NNWA, copying
+// every table out of data.
+func UnmarshalCompiledN(data []byte) (*CompiledN, error) {
+	q, err := decodeQuery(data, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := q.(*CompiledN)
+	if !ok {
+		return nil, fmt.Errorf("query: container holds a deterministic automaton, want a compiled NNWA")
+	}
+	return c, nil
+}
+
+// UnmarshalQuery decodes either serialized compiled form, copying every
+// table out of data.
+func UnmarshalQuery(data []byte) (Query, error) { return decodeQuery(data, nil, false) }
+
+// LoadQueryMapped decodes either serialized compiled form zero-copy: the
+// transition tables and mask slabs alias data directly (checked
+// reinterpretation of the little-endian sections), so data must stay valid
+// and unmodified — typically an mmap'd read-only region — for as long as
+// the query is in use.
+func LoadQueryMapped(data []byte) (Query, error) { return decodeQuery(data, nil, true) }
+
+// Bundle is a named, ordered set of compiled queries over one shared
+// alphabet — the serializable unit a fleet of front-ends boots from.  Build
+// one with NewBundle/Add and Marshal it, or load one with UnmarshalBundle,
+// LoadBundleMapped, or OpenBundle and hand it to engine.RegisterBundle (or
+// serve.NewPoolFromBundle).
+type Bundle struct {
+	alpha   *alphabet.Alphabet
+	names   []string
+	queries []Query
+	close   func() error
+}
+
+// NewBundle starts an empty bundle over the given alphabet.
+func NewBundle(alpha *alphabet.Alphabet) *Bundle { return &Bundle{alpha: alpha} }
+
+// Add appends a compiled query under a display name.  The name must be new
+// and the query's alphabet must equal the bundle's (the same invariant
+// engine.RegisterQuery enforces, checked here so a bundle cannot be
+// serialized in an unbootable state).  Only the serializable compiled forms
+// — *Compiled and *CompiledN — are accepted.
+func (b *Bundle) Add(name string, q Query) error {
+	switch q.(type) {
+	case *Compiled, *CompiledN:
+	default:
+		return fmt.Errorf("query: bundle cannot serialize %T (want *Compiled or *CompiledN)", q)
+	}
+	for _, n := range b.names {
+		if n == name {
+			return fmt.Errorf("query: bundle already holds a query named %q", name)
+		}
+	}
+	if !b.alpha.Equal(q.Alphabet()) {
+		return fmt.Errorf("query: query %q uses alphabet %v, bundle is over %v", name, q.Alphabet(), b.alpha)
+	}
+	b.names = append(b.names, name)
+	b.queries = append(b.queries, q)
+	return nil
+}
+
+// Len returns the number of queries in the bundle.
+func (b *Bundle) Len() int { return len(b.queries) }
+
+// Alphabet returns the bundle's shared alphabet.
+func (b *Bundle) Alphabet() *alphabet.Alphabet { return b.alpha }
+
+// Names returns the query names in index order (a copy).
+func (b *Bundle) Names() []string { return append([]string(nil), b.names...) }
+
+// Name returns the i-th query's display name.
+func (b *Bundle) Name(i int) string { return b.names[i] }
+
+// Query returns the i-th compiled query.
+func (b *Bundle) Query(i int) Query { return b.queries[i] }
+
+// Marshal serializes the bundle: the shared alphabet once, the names, and
+// one embedded container per query (each without its own alphabet section).
+func (b *Bundle) Marshal() []byte {
+	w := format.NewWriter(format.KindBundle)
+	w.Strings(secAlphabet, b.alpha.Symbols())
+	w.Strings(secNames, b.names)
+	for _, q := range b.queries {
+		switch c := q.(type) {
+		case *Compiled:
+			w.Bytes(secQuery, c.encode(false))
+		case *CompiledN:
+			w.Bytes(secQuery, c.encode(false))
+		}
+	}
+	return w.Finish()
+}
+
+// Close releases the mapped region backing a bundle from OpenBundle; after
+// Close no query of the bundle may be used.  Bundles built in memory or
+// loaded with UnmarshalBundle have nothing to release.
+func (b *Bundle) Close() error {
+	if b.close == nil {
+		return nil
+	}
+	c := b.close
+	b.close = nil
+	return c()
+}
+
+// decodeBundle rebuilds a bundle from a KindBundle container.
+func decodeBundle(data []byte, zeroCopy bool) (*Bundle, error) {
+	r, err := format.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	if r.Kind() != format.KindBundle {
+		return nil, fmt.Errorf("query: container kind %d is not a bundle", r.Kind())
+	}
+	alphaSec, ok := r.Section(secAlphabet)
+	if !ok {
+		return nil, fmt.Errorf("query: bundle is missing its alphabet section")
+	}
+	symbols, err := format.Strings(alphaSec)
+	if err != nil {
+		return nil, fmt.Errorf("query: bundle alphabet: %w", err)
+	}
+	alpha := alphabet.New(symbols...)
+	if alpha.Size() != len(symbols) {
+		return nil, fmt.Errorf("query: bundle alphabet repeats a symbol (%d listed, %d distinct)",
+			len(symbols), alpha.Size())
+	}
+	namesSec, ok := r.Section(secNames)
+	if !ok {
+		return nil, fmt.Errorf("query: bundle is missing its names section")
+	}
+	names, err := format.Strings(namesSec)
+	if err != nil {
+		return nil, fmt.Errorf("query: bundle names: %w", err)
+	}
+	if dup := firstDuplicate(names); dup != "" {
+		return nil, fmt.Errorf("query: bundle names repeat %q", dup)
+	}
+	blobs := r.Sections(secQuery)
+	if len(blobs) != len(names) {
+		return nil, fmt.Errorf("query: bundle names %d queries but embeds %d", len(names), len(blobs))
+	}
+	b := &Bundle{alpha: alpha, names: names}
+	for i, blob := range blobs {
+		q, err := decodeQuery(blob, alpha, zeroCopy)
+		if err != nil {
+			return nil, fmt.Errorf("query: bundle query %q: %w", names[i], err)
+		}
+		b.queries = append(b.queries, q)
+	}
+	return b, nil
+}
+
+func firstDuplicate(names []string) string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return sorted[i]
+		}
+	}
+	return ""
+}
+
+// UnmarshalBundle decodes a serialized bundle, copying every table out of
+// data.
+func UnmarshalBundle(data []byte) (*Bundle, error) { return decodeBundle(data, false) }
+
+// LoadBundleMapped decodes a serialized bundle zero-copy: every query's
+// tables alias data directly, so data must stay valid and unmodified for
+// the bundle's lifetime (see LoadQueryMapped).
+func LoadBundleMapped(data []byte) (*Bundle, error) { return decodeBundle(data, true) }
+
+// OpenBundle maps the file read-only (mmap where the platform provides it,
+// a plain read otherwise) and loads the bundle zero-copy: the transition
+// tables of every query point straight into the mapped region, so N
+// processes opening one bundle share a single resident copy of the compiled
+// tables.  Call Close on the bundle to release the mapping.
+func OpenBundle(path string) (*Bundle, error) {
+	data, closeFn, err := format.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := LoadBundleMapped(data)
+	if err != nil {
+		closeFn()
+		return nil, err
+	}
+	b.close = closeFn
+	return b, nil
+}

@@ -1,0 +1,107 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+)
+
+// exerciseDecoded drives a decoded query hard enough to hit every table:
+// calls, internals, matched and pending returns, in-range and out-of-range
+// symbol IDs, plus Accepting and Reset.  A decoder bug that let an invalid
+// table through shows up here as a panic or slice overrun.
+func exerciseDecoded(q Query) {
+	r := q.NewRunner()
+	syms := q.Alphabet().Size() + 1
+	for _, sym := range []int{0, syms - 1, syms, -1, 1 << 20} {
+		r.StepCall(sym)
+		r.StepInternal(sym)
+		r.StepReturn(sym)
+	}
+	r.StepReturn(0) // pending return on a drained stack
+	r.Accepting()
+	r.Reset()
+	r.Accepting()
+}
+
+// FuzzUnmarshalCompiled is the serialization fuzz target: arbitrary bytes
+// must make every decoder fail cleanly — an error, never a panic and never
+// an allocation sized beyond the input — and any input that does decode
+// must re-marshal into bytes that decode again (valid marshals round-trip).
+// The copy and zero-copy paths are both exercised.
+func FuzzUnmarshalCompiled(f *testing.F) {
+	alpha := goldenAlphabet()
+	seeds := [][]byte{
+		Compile(PathQuery(alpha, "a", "b")).Marshal(),
+		Compile(WellFormed(alpha)).Marshal(),
+		CompileN(goldenNNWA()).Marshal(),
+		{},
+		[]byte("NWQ1"),
+	}
+	b := NewBundle(alpha)
+	if err := b.Add("wf", Compile(WellFormed(alpha))); err != nil {
+		f.Fatal(err)
+	}
+	if err := b.Add("nn", CompileN(goldenNNWA())); err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, b.Marshal())
+	for _, s := range seeds {
+		f.Add(s)
+		if len(s) > 40 {
+			f.Add(s[:40])         // truncated header/directory
+			f.Add(s[:len(s)-3])   // truncated payload
+			mut := bytes.Clone(s) // corrupted payload
+			mut[len(mut)/2] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			data = data[:1<<18]
+		}
+		if q, err := UnmarshalQuery(data); err == nil {
+			exerciseDecoded(q)
+			var again []byte
+			switch c := q.(type) {
+			case *Compiled:
+				again = c.Marshal()
+			case *CompiledN:
+				again = c.Marshal()
+			}
+			if _, err := UnmarshalQuery(again); err != nil {
+				t.Fatalf("decoded query failed to round-trip: %v", err)
+			}
+		}
+		// The zero-copy path must accept and reject exactly the same inputs;
+		// decode from a private copy so table aliasing cannot leak into the
+		// next iteration.
+		if q, err := LoadQueryMapped(bytes.Clone(data)); err == nil {
+			exerciseDecoded(q)
+		}
+		if bdl, err := UnmarshalBundle(data); err == nil {
+			for i := 0; i < bdl.Len(); i++ {
+				exerciseDecoded(bdl.Query(i))
+			}
+			if _, err := UnmarshalBundle(rebuildBundleRaw(bdl).Marshal()); err != nil {
+				t.Fatalf("decoded bundle failed to round-trip: %v", err)
+			}
+		}
+		if bdl, err := LoadBundleMapped(bytes.Clone(data)); err == nil {
+			for i := 0; i < bdl.Len(); i++ {
+				exerciseDecoded(bdl.Query(i))
+			}
+		}
+	})
+}
+
+// rebuildBundleRaw is rebuildBundle without the testing.T plumbing, for the
+// fuzz path where Add cannot fail on a just-decoded bundle.
+func rebuildBundleRaw(b *Bundle) *Bundle {
+	out := NewBundle(b.Alphabet())
+	for i, name := range b.Names() {
+		if err := out.Add(name, b.Query(i)); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}

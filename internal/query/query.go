@@ -48,6 +48,8 @@
 package query
 
 import (
+	"strings"
+
 	"repro/internal/alphabet"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
@@ -153,6 +155,42 @@ func EvaluateAll(queries []*nwa.DNWA, doc *nestedword.NestedWord) []bool {
 		out[i] = q.Accepts(doc)
 	}
 	return out
+}
+
+// SplitLabels parses the comma-separated label lists of the CLI flags
+// (-labels/-order/-path), trimming whitespace and dropping empty entries.
+// nwtool compile and nwquery/nwserve must split identically — the alphabet
+// order determines the compiled symbol IDs — so the one implementation
+// lives here next to StandardSet.
+func SplitLabels(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if trimmed := strings.TrimSpace(p); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}
+
+// StandardSet compiles the query set the command-line tools share: the
+// well-formedness check always, plus a linear-order query and a
+// hierarchical path query when their label lists are non-empty, each under
+// the display name the tools print.  nwtool compile serializes exactly this
+// set into a bundle, and nwquery/nwserve build the same set in process, so
+// a bundle-booted server and an in-process one answer identically for the
+// same flags.
+func StandardSet(alpha *alphabet.Alphabet, order, path []string) (names []string, queries []Query) {
+	names = append(names, "well-formed")
+	queries = append(queries, Compile(WellFormed(alpha)))
+	if len(order) > 0 {
+		names = append(names, "order "+strings.Join(order, ","))
+		queries = append(queries, Compile(LinearOrder(alpha, order...)))
+	}
+	if len(path) > 0 {
+		names = append(names, "path //"+strings.Join(path, "//"))
+		queries = append(queries, Compile(PathQuery(alpha, path...)))
+	}
+	return names, queries
 }
 
 // And, Or, and Not compose compiled queries using the closure constructions

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/docstream"
 	"repro/internal/engine"
+	"repro/internal/query"
 )
 
 // ErrClosed is returned by Submit variants after Close has begun.
@@ -206,6 +207,27 @@ func NewPool(eng *engine.Engine, opts ...Option) (*Pool, error) {
 	}
 	return p, nil
 }
+
+// NewPoolFromBundle boots a pool straight from a loaded query bundle: a
+// fresh engine is built, every bundle query is registered under its bundle
+// name, and the shard workers start against it.  Combined with
+// query.OpenBundle this is the serving cold-start path that skips per-
+// process compilation entirely — the tables may alias a read-only mapped
+// region shared across processes.  Use Engine to reach the underlying
+// engine (verdict names, alphabet) for result aggregation.
+func NewPoolFromBundle(b *query.Bundle, opts ...Option) (*Pool, error) {
+	if b == nil {
+		return nil, errors.New("serve: nil bundle")
+	}
+	eng := engine.New()
+	if _, err := eng.RegisterBundle(b); err != nil {
+		return nil, err
+	}
+	return NewPool(eng, opts...)
+}
+
+// Engine returns the engine the pool serves against.
+func (p *Pool) Engine() *engine.Engine { return p.eng }
 
 // Shards returns the number of shards the pool was built with.
 func (p *Pool) Shards() int { return p.numShards }

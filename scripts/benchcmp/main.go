@@ -1,0 +1,181 @@
+// Command benchcmp is the benchmark-regression gate: it compares two
+// directories of BENCH_<ID>.json files (the machine-readable experiment
+// tables cmd/nwbench -json writes for experiments.ArtifactIDs(), E21–E25)
+// and fails when the fresh run regresses past a threshold against the
+// previous one.
+//
+// Usage:
+//
+//	benchcmp -old PREV_DIR -new FRESH_DIR [-threshold 2.0]
+//
+// For every experiment present in both directories it compares
+//
+//   - wall_ns, the wall clock of regenerating the whole table, and
+//   - every timing cell — a column whose header carries a time unit
+//     ("ns/ev", "compile µs", ...) — of every row, matched across runs by
+//     the row's first (key) column;
+//
+// and reports any new/old ratio above the threshold (default 2.0×, wide
+// enough for CI scheduling noise).  Rows or experiments present on only one
+// side are reported as informational skips, never failures, so adding an
+// experiment or a row does not break the gate.  Exit status is 1 when any
+// regression is found, 0 otherwise.
+//
+// CI runs it in the bench-json job against the previous run's artifacts
+// (falling back to the BENCH_*.json copies committed at the repository
+// root); run it locally the same way:
+//
+//	go run ./cmd/nwbench -quick -json fresh
+//	go run ./scripts/benchcmp -old . -new fresh
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// record mirrors the BENCH_<ID>.json schema of cmd/nwbench (the fields the
+// comparison needs).
+type record struct {
+	ID     string     `json:"id"`
+	WallNS int64      `json:"wall_ns"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// timingColumn reports whether a header names a wall-clock column — the
+// only columns whose regressions the gate judges (counts, speedups, and
+// agreement flags are informational).
+func timingColumn(header string) bool {
+	h := strings.ToLower(header)
+	for _, unit := range []string{"ns", "µs", "us/", " us", "ms"} {
+		if strings.Contains(h, unit) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir reads every BENCH_*.json in dir, keyed by file base name.
+func loadDir(dir string) (map[string]record, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]record{}
+	for _, p := range paths {
+		body, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r record
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out[filepath.Base(p)] = r
+	}
+	return out, nil
+}
+
+// rowKey is the row's first column — the sweep variable (queries, shards,
+// states) the rows of one experiment are matched on across runs.
+func rowKey(row []string) string {
+	if len(row) == 0 {
+		return ""
+	}
+	return row[0]
+}
+
+func main() {
+	oldDir := flag.String("old", "", "directory of previous BENCH_*.json files (the baseline)")
+	newDir := flag.String("new", "", "directory of fresh BENCH_*.json files (the run under test)")
+	threshold := flag.Float64("threshold", 2.0, "fail when new/old exceeds this ratio on wall_ns or any timing cell")
+	flag.Parse()
+	if *oldDir == "" || *newDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old PREV_DIR -new FRESH_DIR [-threshold 2.0]")
+		os.Exit(2)
+	}
+
+	oldRecs, err := loadDir(*oldDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newRecs, err := loadDir(*newDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if len(newRecs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: no BENCH_*.json files in %s\n", *newDir)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newRecs))
+	for name := range newRecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		fresh := newRecs[name]
+		prev, ok := oldRecs[name]
+		if !ok {
+			fmt.Printf("%-18s new experiment, no baseline — skipped\n", fresh.ID)
+			continue
+		}
+		compared++
+		if prev.WallNS > 0 {
+			ratio := float64(fresh.WallNS) / float64(prev.WallNS)
+			fmt.Printf("%-18s wall %8.2fms -> %8.2fms  (%.2fx)\n",
+				fresh.ID, float64(prev.WallNS)/1e6, float64(fresh.WallNS)/1e6, ratio)
+			if ratio > *threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: wall_ns %.2fx (%d -> %d ns)", fresh.ID, ratio, prev.WallNS, fresh.WallNS))
+			}
+		}
+		prevRows := map[string][]string{}
+		for _, row := range prev.Rows {
+			prevRows[rowKey(row)] = row
+		}
+		for _, row := range fresh.Rows {
+			base, ok := prevRows[rowKey(row)]
+			if !ok {
+				fmt.Printf("%-18s row %q has no baseline — skipped\n", fresh.ID, rowKey(row))
+				continue
+			}
+			for col, header := range fresh.Header {
+				if !timingColumn(header) || col >= len(row) || col >= len(base) {
+					continue
+				}
+				newVal, err1 := strconv.ParseFloat(row[col], 64)
+				oldVal, err2 := strconv.ParseFloat(base[col], 64)
+				if err1 != nil || err2 != nil || oldVal <= 0 {
+					continue
+				}
+				if ratio := newVal / oldVal; ratio > *threshold {
+					regressions = append(regressions,
+						fmt.Sprintf("%s row %q: %q %.3g -> %.3g (%.2fx)",
+							fresh.ID, rowKey(row), header, oldVal, newVal, ratio))
+				}
+			}
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Printf("\nbenchcmp: %d regressions past %.1fx:\n", len(regressions), *threshold)
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: ok (%d experiments compared, threshold %.1fx)\n", compared, *threshold)
+}

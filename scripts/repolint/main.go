@@ -9,7 +9,11 @@
 //     file or directory that exists;
 //   - every experiment ID in experiments.Index() appears in the
 //     docs/EXPERIMENTS.md index table, and vice versa, so the experiment
-//     documentation cannot drift from the code.
+//     documentation cannot drift from the code;
+//   - every BENCH_E*.json benchmark artifact at the repository root
+//     corresponds to an experiment in experiments.ArtifactIDs(), and vice
+//     versa, so stale (or missing) committed benchmark baselines are
+//     flagged the moment the artifact set changes.
 //
 // It prints one line per violation and exits non-zero if there are any.
 package main
@@ -47,6 +51,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := lintExperimentIndex(root, report); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if err := lintBenchArtifacts(root, report); err != nil {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
 	}
@@ -221,6 +229,37 @@ func lintExperimentIndex(root string, report func(string, ...any)) error {
 	for id := range documented {
 		if !coded[id] {
 			report("%s: experiment %s is documented but missing from experiments.Index()", path, id)
+		}
+	}
+	return nil
+}
+
+// lintBenchArtifacts cross-checks the committed BENCH_E*.json benchmark
+// baselines at the repository root against experiments.ArtifactIDs(): a
+// file whose experiment no longer records an artifact is stale, and an
+// artifact-recording experiment without a committed baseline leaves the
+// bench-regression gate's fallback without a point of comparison.
+func lintBenchArtifacts(root string, report func(string, ...any)) error {
+	files, err := filepath.Glob(filepath.Join(root, "BENCH_E*.json"))
+	if err != nil {
+		return fmt.Errorf("bench artifacts: %w", err)
+	}
+	coded := map[string]bool{}
+	for _, id := range experiments.ArtifactIDs() {
+		coded[id] = true
+	}
+	committed := map[string]bool{}
+	for _, f := range files {
+		id := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(f), "BENCH_"), ".json")
+		committed[id] = true
+		if !coded[id] {
+			report("%s: stale benchmark artifact — %s is not in experiments.ArtifactIDs()", f, id)
+		}
+	}
+	for _, id := range experiments.ArtifactIDs() {
+		if !committed[id] {
+			report("%s: experiment %s records a benchmark artifact but BENCH_%s.json is not committed at the repository root",
+				root, id, id)
 		}
 	}
 	return nil
