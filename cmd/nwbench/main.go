@@ -42,7 +42,7 @@ type benchRecord struct {
 
 // jsonIDs selects the experiments whose tables are benchmark trajectories
 // worth recording per PR — experiments.ArtifactIDs(), the same list
-// scripts/repolint and scripts/benchcmp key on.
+// scripts/nwvet and scripts/benchcmp key on.
 var jsonIDs = func() map[string]bool {
 	ids := map[string]bool{}
 	for _, id := range experiments.ArtifactIDs() {

@@ -15,12 +15,20 @@
 //	                                serialized bundle; nwquery and nwserve
 //	                                boot from it with -queryset FILE
 //	nwtool bundle FILE              describe a serialized bundle
+//	nwtool vet FILE                 statically verify a compiled artifact
 //
 // The compile subcommand builds exactly the query set nwquery and nwserve
 // build from the same -labels/-order/-path flags (well-formedness always,
 // the order and path queries when given) over the alphabet the flags
 // determine, so a bundle-booted server answers with verdicts identical to
 // in-process compilation.
+//
+// The vet subcommand checks a serialized bundle (or standalone compiled
+// query) before any process maps it: table shapes, target ranges, the
+// CSR/bitmask cross-representation agreement, per-query alphabet agreement,
+// and a reachability/coaccessibility analysis reporting unreachable states
+// and dead transitions.  Structural violations exit 1; dead-weight findings
+// are warnings and exit 0 (see docs/ANALYZERS.md for the report format).
 package main
 
 import (
@@ -71,6 +79,8 @@ func main() {
 		compileBundle(os.Args[2:])
 	case "bundle":
 		describeBundle(os.Args[2])
+	case "vet":
+		vetArtifact(os.Args[2])
 	default:
 		usage()
 	}
@@ -127,6 +137,20 @@ func describeBundle(path string) {
 	}
 }
 
+// vetArtifact runs the automaton-level verifier over a serialized artifact.
+// The file is read (not mapped) so that a hostile artifact is vetted from a
+// private copy, and decode failures reject it before any table is indexed.
+func vetArtifact(path string) {
+	data, err := os.ReadFile(path)
+	exitOn(err)
+	rep, err := query.VetBytes(data)
+	exitOn(err)
+	fmt.Print(rep)
+	if rep.Errors() > 0 {
+		os.Exit(1)
+	}
+}
+
 func describe(n *nestedword.NestedWord) {
 	calls, internals, returns := n.Counts()
 	fmt.Printf("nested word : %v\n", n)
@@ -150,7 +174,7 @@ func exitOn(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query|compile|bundle ARG [LABEL...]")
+	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query|compile|bundle|vet ARG [LABEL...]")
 	fmt.Fprintln(os.Stderr, "       nwtool compile -labels l1,l2 [-order ...] [-path ...] -o FILE")
 	os.Exit(2)
 }

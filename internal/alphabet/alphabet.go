@@ -52,6 +52,16 @@ func (a *Alphabet) Index(sym string) (int, bool) {
 	return i, ok
 }
 
+// IndexBytes returns the index of the symbol spelled by b and whether it
+// belongs to the alphabet.  The map lookup is keyed by string(b) in the
+// form the compiler compiles without materializing the string, so hot
+// tokenizing loops can intern a scratch buffer allocation-free; pair a hit
+// with Symbol(i) to obtain a canonical string for the label.
+func (a *Alphabet) IndexBytes(b []byte) (int, bool) {
+	i, ok := a.index[string(b)]
+	return i, ok
+}
+
 // MustIndex returns the index of the symbol and panics when the symbol is
 // not part of the alphabet.  It is intended for code paths where membership
 // has already been validated.

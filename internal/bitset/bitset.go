@@ -53,6 +53,8 @@ func (r Row) Fill(n int) {
 }
 
 // Or adds every element of other to r (r |= other).
+//
+//nwvet:hotpath
 func (r Row) Or(other Row) {
 	for i, w := range other {
 		r[i] |= w
@@ -69,6 +71,8 @@ func (r Row) And(other Row) {
 // Intersects reports whether the rows share an element.  The test is a
 // word-wise AND sweep — no per-bit shifting — which is how the runner asks
 // "is any reachable state accepting" in ⌈n/64⌉ operations.
+//
+//nwvet:hotpath
 func (r Row) Intersects(other Row) bool {
 	for i, w := range other {
 		if r[i]&w != 0 {
@@ -159,6 +163,8 @@ func Slab(table []uint64, i, w int) Row {
 // step of the state-set runner — advancing a set through precomputed
 // per-symbol successor masks costs one w-word OR per set bit instead of one
 // branch per (state, successor) pair.
+//
+//nwvet:hotpath
 func Gather(dst, sel Row, table []uint64, w int) {
 	for wi, word := range sel {
 		base := wi << 6

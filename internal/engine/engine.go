@@ -236,6 +236,8 @@ func (s *Session) Reset() {
 // have been interned against Engine.Alphabet() (an interning tokenizer bound
 // to any other alphabet yields in-range but wrong symbol IDs, and silently
 // wrong verdicts).
+//
+//nwvet:hotpath
 func (s *Session) Feed(e docstream.Event) {
 	s.batch = append(s.batch, e)
 	if len(s.batch) >= cap(s.batch) {
@@ -244,6 +246,8 @@ func (s *Session) Feed(e docstream.Event) {
 }
 
 // feedRunner replays the interned batch into one runner.
+//
+//nwvet:hotpath
 func feedRunner(r query.Runner, batch []docstream.Event) {
 	for _, e := range batch {
 		sym := e.Sym - 1
@@ -342,6 +346,8 @@ func (s *Session) Result() *Result {
 // stored.  The session must be at the start of a document (fresh from
 // Acquire, or Reset by its owner); on error the session is left mid-stream
 // and must be Reset before reuse.
+//
+//nwvet:hotpath
 func (s *Session) Run(src EventSource) (*Result, error) {
 	for {
 		ev, err := src.Next()

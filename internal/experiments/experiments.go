@@ -1290,7 +1290,7 @@ func Index() []Info {
 
 // ArtifactIDs lists the experiments whose tables cmd/nwbench -json records
 // as BENCH_<ID>.json benchmark artifacts — the serving-stack experiments
-// with timing columns.  scripts/repolint cross-checks the committed
+// with timing columns.  scripts/nwvet cross-checks the committed
 // BENCH_E*.json files at the repository root against this list, and
 // scripts/benchcmp compares fresh artifacts against previous ones, so the
 // list is the single source of truth for what the perf trajectory tracks.

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/nwa"
+)
+
+// bigNNWA builds a 64-state nondeterministic automaton — one full bitset
+// word — with call, internal, and return transitions out of every state, so
+// a step exercises Gather, the return stitch, and the frame free list.
+func bigNNWA() *nwa.NNWA {
+	alpha := alphabet.New("a", "b")
+	const n = 64
+	a := nwa.NewNNWA(alpha, n)
+	a.AddStart(0)
+	a.AddAccept(n - 1)
+	for q := 0; q < n; q++ {
+		a.AddInternal(q, "a", (q+1)%n)
+		a.AddInternal(q, "b", q)
+		a.AddCall(q, "a", (q+3)%n, q)
+		a.AddReturn((q+3)%n, q, "b", (q+1)%n)
+	}
+	return a
+}
+
+// TestBitsetRunnerZeroAlloc pins the claim the //nwvet:hotpath annotations
+// on the bitset runner make: once the frame free list has grown to the
+// working depth, stepping the 64-state state-set simulation — calls,
+// internals, matched and pending returns — allocates nothing.
+func TestBitsetRunnerZeroAlloc(t *testing.T) {
+	c := CompileN(bigNNWA())
+	r := c.NewRunner()
+	run := func() {
+		r.Reset()
+		for depth := 0; depth < 8; depth++ {
+			r.StepCall(0)
+			r.StepInternal(0)
+			r.StepInternal(1)
+		}
+		for depth := 0; depth < 8; depth++ {
+			r.StepReturn(1)
+		}
+		r.StepReturn(1) // pending return on a drained stack
+		_ = r.Accepting()
+	}
+	run() // grow the stack and free list to the working depth
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Errorf("bitset NNWA runner: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDNWARunnerZeroAlloc is the deterministic counterpart: a compiled DNWA
+// runner steps with zero allocations once its stack has grown.
+func TestDNWARunnerZeroAlloc(t *testing.T) {
+	c := Compile(WellFormed(alphabet.New("a", "b")))
+	r := c.NewRunner()
+	run := func() {
+		r.Reset()
+		for depth := 0; depth < 16; depth++ {
+			r.StepCall(0)
+			r.StepInternal(1)
+		}
+		for depth := 0; depth < 16; depth++ {
+			r.StepReturn(0)
+		}
+		_ = r.Accepting()
+	}
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Errorf("compiled DNWA runner: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkVetBundle tracks the cost of the artifact verifier on the CLI
+// standard set, so vet stays cheap enough to run at every fleet boot.
+func BenchmarkVetBundle(b *testing.B) {
+	alpha := alphabet.New("a", "b")
+	names, queries := StandardSet(alpha, []string{"a", "b"}, []string{"a", "b"})
+	bdl := NewBundle(alpha)
+	for i, q := range queries {
+		if err := bdl.Add(names[i], q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := bdl.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := VetBytes(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors() != 0 {
+			b.Fatal(fmt.Errorf("standard set does not vet clean:\n%s", rep))
+		}
+	}
+}

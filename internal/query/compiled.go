@@ -244,6 +244,7 @@ type dnwaRunner struct {
 	stack []int32
 }
 
+//nwvet:hotpath
 func (r *dnwaRunner) StepCall(sym int) {
 	c := r.c
 	i := int(r.state)*c.syms + clampSym(sym, c.syms)
@@ -251,11 +252,13 @@ func (r *dnwaRunner) StepCall(sym int) {
 	r.state = c.callLin[i]
 }
 
+//nwvet:hotpath
 func (r *dnwaRunner) StepInternal(sym int) {
 	c := r.c
 	r.state = c.internT[int(r.state)*c.syms+clampSym(sym, c.syms)]
 }
 
+//nwvet:hotpath
 func (r *dnwaRunner) StepReturn(sym int) {
 	hier := r.c.start
 	if n := len(r.stack); n > 0 {
@@ -265,6 +268,7 @@ func (r *dnwaRunner) StepReturn(sym int) {
 	r.state = r.c.stepReturn(r.state, hier, clampSym(sym, r.c.syms))
 }
 
+//nwvet:hotpath
 func (r *dnwaRunner) Accepting() bool { return r.c.accept[r.state] }
 
 func (r *dnwaRunner) Reset() {

@@ -344,6 +344,7 @@ func (r *nnwaBitsetRunner) compose(dst, src, rows []uint64) {
 	}
 }
 
+//nwvet:hotpath
 func (r *nnwaBitsetRunner) StepCall(sym int) {
 	c := r.c
 	sym = clampSym(sym, c.syms)
@@ -359,6 +360,7 @@ func (r *nnwaBitsetRunner) StepCall(sym int) {
 	r.S, r.R = S, R
 }
 
+//nwvet:hotpath
 func (r *nnwaBitsetRunner) StepInternal(sym int) {
 	c := r.c
 	sym = clampSym(sym, c.syms)
@@ -403,6 +405,7 @@ func (r *nnwaBitsetRunner) stitch(sel bitset.Row, matched bool, callSym, sym int
 	}
 }
 
+//nwvet:hotpath
 func (r *nnwaBitsetRunner) StepReturn(sym int) {
 	c := r.c
 	sym = clampSym(sym, c.syms)
@@ -439,6 +442,7 @@ func (r *nnwaBitsetRunner) liveMids(S []uint64, R bitset.Row) {
 	r.sel.Or(R)
 }
 
+//nwvet:hotpath
 func (r *nnwaBitsetRunner) Accepting() bool {
 	return r.R.Intersects(r.c.acceptRow)
 }

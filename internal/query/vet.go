@@ -1,0 +1,649 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/nwa"
+	"repro/internal/query/format"
+)
+
+// This file is the automaton-level static analyzer behind `nwtool vet`: a
+// compiled artifact is checked before anything maps it, against invariants in
+// three rings.
+//
+//  1. Structural: the table shapes and target ranges the decode path also
+//     enforces, re-checked here so in-memory bundles (never serialized) get
+//     the same guarantees.
+//  2. Cross-representation: CompiledN stores its transitions twice — CSR
+//     adjacency and per-symbol bitmask slabs — and the runners mix both, so
+//     the two copies must agree bit for bit.  Decoding checks each copy in
+//     isolation; only vet cross-checks them, which makes this the one
+//     corruption a valid-looking container can smuggle past Unmarshal.
+//  3. Semantic: reachability and coaccessibility over the compiled tables,
+//     computed by the emptiness machinery of internal/nwa (Section 3.2), so
+//     unreachable states, useless transitions, and empty-language queries
+//     are reported with exact counts before a fleet boots the bundle.
+//
+// Structural and cross-representation violations are errors (the artifact is
+// rejected); semantic findings are warnings (the artifact works, but carries
+// dead weight).
+
+// Vet issue levels.
+const (
+	// VetError marks a structural or cross-representation violation; the
+	// artifact must not be served.
+	VetError = "error"
+	// VetWarning marks a semantic finding — dead states or transitions; the
+	// artifact is safe but bloated.
+	VetWarning = "warning"
+)
+
+// vetCoaccessLimit caps the automaton size for the coaccessibility pass,
+// whose projected-edge construction enumerates the quadratic return index.
+// Larger automata skip the pass (noted in the stats) rather than stall the
+// vet.
+const vetCoaccessLimit = 256
+
+// VetIssue is one finding of the artifact verifier.
+type VetIssue struct {
+	// Query is the display name of the query the issue is in ("" for
+	// container-level issues).
+	Query string
+	// Level is VetError or VetWarning.
+	Level string
+	// Msg describes the violation.
+	Msg string
+}
+
+// VetQueryStats summarizes the semantic analysis of one query.
+type VetQueryStats struct {
+	// Name is the query's display name in the bundle ("query" standalone).
+	Name string
+	// Form is "dnwa" or "nnwa".
+	Form string
+	// States is the exact state count, dead sink included for DNWAs.
+	States int
+	// Reachable counts states some nested word reaches linearly.
+	Reachable int
+	// Unreachable lists the states that are neither linearly reachable nor
+	// used as hierarchical targets of reachable calls, in ascending order.
+	Unreachable []int
+	// DeadTransitions counts defined transitions that can never fire
+	// because their source (or return-edge hierarchical component) is
+	// unreachable.
+	DeadTransitions int
+	// NonCoaccessible counts reachable states from which no accepting state
+	// can be reached (designated dead sinks excluded); -1 when the
+	// automaton exceeds vetCoaccessLimit and the pass was skipped.
+	NonCoaccessible int
+}
+
+// VetReport is the full result of vetting one artifact.
+type VetReport struct {
+	// Queries holds per-query statistics in bundle order.
+	Queries []VetQueryStats
+	// Issues holds every finding, container-level first.
+	Issues []VetIssue
+}
+
+func (r *VetReport) add(query, level, msg string) {
+	r.Issues = append(r.Issues, VetIssue{Query: query, Level: level, Msg: msg})
+}
+
+// Errors counts VetError issues.
+func (r *VetReport) Errors() int { return r.count(VetError) }
+
+// Warnings counts VetWarning issues.
+func (r *VetReport) Warnings() int { return r.count(VetWarning) }
+
+func (r *VetReport) count(level string) int {
+	n := 0
+	for _, i := range r.Issues {
+		if i.Level == level {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the report in the line-per-finding format documented in
+// docs/ANALYZERS.md: one stats line per query, one line per issue, and a
+// closing tally.
+func (r *VetReport) String() string {
+	var b strings.Builder
+	for _, s := range r.Queries {
+		fmt.Fprintf(&b, "query %q: %s, %d states, %d reachable, %d unreachable, %d dead transitions",
+			s.Name, s.Form, s.States, s.Reachable, len(s.Unreachable), s.DeadTransitions)
+		if s.NonCoaccessible < 0 {
+			fmt.Fprintf(&b, ", coaccessibility skipped (>%d states)", vetCoaccessLimit)
+		} else {
+			fmt.Fprintf(&b, ", %d non-coaccessible", s.NonCoaccessible)
+		}
+		b.WriteByte('\n')
+	}
+	for _, i := range r.Issues {
+		b.WriteString(i.Level)
+		b.WriteString(": ")
+		if i.Query != "" {
+			fmt.Fprintf(&b, "query %q: ", i.Query)
+		}
+		b.WriteString(i.Msg)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "vet: %d errors, %d warnings\n", r.Errors(), r.Warnings())
+	return b.String()
+}
+
+// VetBytes verifies a serialized artifact — a bundle or a standalone
+// compiled query container.  A container that does not decode is rejected
+// with an error; a container that decodes is vetted and the findings
+// returned in the report (structural errors included), never panicking on
+// any input.
+func VetBytes(data []byte) (*VetReport, error) {
+	r, err := format.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	switch r.Kind() {
+	case format.KindBundle:
+		b, err := UnmarshalBundle(data)
+		if err != nil {
+			return nil, err
+		}
+		return VetBundle(b), nil
+	case format.KindDNWA, format.KindNNWA:
+		q, err := UnmarshalQuery(data)
+		if err != nil {
+			return nil, err
+		}
+		rep := &VetReport{}
+		vetQuery(rep, "query", q)
+		return rep, nil
+	default:
+		return nil, fmt.Errorf("query: container kind %d is not a vettable artifact", r.Kind())
+	}
+}
+
+// VetBundle verifies an in-memory bundle: per-query structural and
+// cross-representation checks, alphabet agreement across the bundle, and the
+// reachability/coaccessibility analysis.
+func VetBundle(b *Bundle) *VetReport {
+	rep := &VetReport{}
+	if b.Len() == 0 {
+		rep.add("", VetWarning, "bundle holds no queries")
+	}
+	for i := 0; i < b.Len(); i++ {
+		name := b.Name(i)
+		q := b.Query(i)
+		if !b.Alphabet().Equal(q.Alphabet()) {
+			rep.add(name, VetError, fmt.Sprintf("query alphabet %v disagrees with the bundle alphabet %v",
+				q.Alphabet().Symbols(), b.Alphabet().Symbols()))
+			continue
+		}
+		vetQuery(rep, name, q)
+	}
+	return rep
+}
+
+// vetQuery dispatches one compiled query through the structural and semantic
+// checks; unknown Query implementations are rejected (only the serializable
+// compiled forms have vettable tables).
+func vetQuery(rep *VetReport, name string, q Query) {
+	switch c := q.(type) {
+	case *Compiled:
+		if c.vetStructure(rep, name) {
+			vetSemantics(rep, name, "dnwa", dnwaGraph{c}, int(c.dead), c.countDeadTransitions)
+		}
+	case *CompiledN:
+		if c.vetStructure(rep, name) {
+			vetSemantics(rep, name, "nnwa", nnwaGraph{c}, -1, c.countDeadTransitions)
+		}
+	default:
+		rep.add(name, VetError, fmt.Sprintf("cannot vet a %T (want *Compiled or *CompiledN)", q))
+	}
+}
+
+// --- structural checks ---------------------------------------------------
+
+// vetStructure re-verifies the Compiled table invariants the decoder
+// enforces, plus the determinism/totality property the decoder cannot see:
+// the designated dead state must be a non-accepting sink, or the compiled
+// automaton silently resurrects rejected runs.  It reports whether the
+// tables are sound enough for the semantic pass to index them.
+func (c *Compiled) vetStructure(rep *VetReport, name string) bool {
+	bad := func(msg string, args ...any) bool {
+		rep.add(name, VetError, fmt.Sprintf(msg, args...))
+		return false
+	}
+	if c.num < 1 || c.num > maxStates {
+		return bad("%d states outside [1, %d]", c.num, maxStates)
+	}
+	if c.syms < 1 || c.syms > maxSymbols {
+		return bad("%d symbol columns outside [1, %d]", c.syms, maxSymbols)
+	}
+	if c.alpha.Size()+1 != c.syms {
+		return bad("automaton compiled over %d symbols, alphabet has %d", c.syms-1, c.alpha.Size())
+	}
+	if int(c.start) >= c.num || int(c.dead) >= c.num || c.start < 0 || c.dead < 0 {
+		return bad("start %d / dead %d outside the %d states", c.start, c.dead, c.num)
+	}
+	if len(c.accept) != c.num {
+		return bad("accept table holds %d states, automaton has %d", len(c.accept), c.num)
+	}
+	cells, ok := mul(c.num, c.syms)
+	if !ok {
+		return bad("%d×%d transition cells overflow", c.num, c.syms)
+	}
+	for _, t := range []struct {
+		what string
+		tab  []int32
+	}{
+		{"call linear", c.callLin},
+		{"call hierarchical", c.callHier},
+		{"internal", c.internT},
+	} {
+		if len(t.tab) != cells {
+			return bad("%s table holds %d cells, want %d", t.what, len(t.tab), cells)
+		}
+		if err := checkTargets(t.what, t.tab, c.num); err != nil {
+			return bad("%v", err)
+		}
+	}
+	if c.dense {
+		retCells, ok := mul(c.num, cells)
+		if !ok || len(c.returnT) != retCells {
+			return bad("dense return table holds %d cells, want %d×%d×%d", len(c.returnT), c.num, c.num, c.syms)
+		}
+		if err := checkTargets("dense return", c.returnT, c.num); err != nil {
+			return bad("%v", err)
+		}
+	} else {
+		if len(c.sparseR.keys) != len(c.sparseR.vals) {
+			return bad("%d sparse return keys vs %d values", len(c.sparseR.keys), len(c.sparseR.vals))
+		}
+		if err := checkAscending(c.sparseR.keys); err != nil {
+			return bad("%v", err)
+		}
+		if err := checkTargets("sparse return", c.sparseR.vals, c.num); err != nil {
+			return bad("%v", err)
+		}
+	}
+	// Determinism/totality of the sink: every transition out of dead must
+	// land in dead, and dead must not accept.
+	dead := int(c.dead)
+	if c.accept[dead] {
+		rep.add(name, VetError, fmt.Sprintf("dead state %d is accepting", dead))
+	}
+	for sym := 0; sym < c.syms; sym++ {
+		i := dead*c.syms + sym
+		if c.callLin[i] != c.dead || c.internT[i] != c.dead {
+			rep.add(name, VetError, fmt.Sprintf("dead state %d has an outgoing transition on symbol %d (not a sink)", dead, sym))
+			break
+		}
+	}
+	c.eachReturnEdge(func(lin, hier, sym, to int) {
+		if lin == dead && to != dead {
+			rep.add(name, VetError, fmt.Sprintf("dead state %d returns to live state %d (not a sink)", dead, to))
+		}
+	})
+	return true
+}
+
+// eachReturnEdge enumerates the defined (non-dead-target) return transitions
+// of either return representation.
+func (c *Compiled) eachReturnEdge(f func(lin, hier, sym, to int)) {
+	if c.dense {
+		for lin := 0; lin < c.num; lin++ {
+			for hier := 0; hier < c.num; hier++ {
+				base := (lin*c.num + hier) * c.syms
+				for sym := 0; sym < c.syms; sym++ {
+					if to := c.returnT[base+sym]; to != c.dead {
+						f(lin, hier, sym, int(to))
+					}
+				}
+			}
+		}
+		return
+	}
+	for i, key := range c.sparseR.keys {
+		if to := c.sparseR.vals[i]; to != c.dead {
+			idx := int(key)
+			sym := idx % c.syms
+			lh := idx / c.syms
+			f(lh/c.num, lh%c.num, sym, int(to))
+		}
+	}
+}
+
+// vetStructure re-verifies the CompiledN invariants the decoder enforces and
+// adds the cross-representation check the decoder cannot make: the
+// per-symbol bitmask slabs must agree, row by row and bit by bit, with the
+// CSR adjacency, because the bitset runner steps through the masks while the
+// return stitch enumerates the CSR — a disagreement makes the two halves of
+// one runner simulate different automata.
+func (c *CompiledN) vetStructure(rep *VetReport, name string) bool {
+	bad := func(msg string, args ...any) bool {
+		rep.add(name, VetError, fmt.Sprintf(msg, args...))
+		return false
+	}
+	if c.num < 1 || c.num > maxStates {
+		return bad("%d states outside [1, %d]", c.num, maxStates)
+	}
+	if c.syms < 1 || c.syms > maxSymbols {
+		return bad("%d symbol columns outside [1, %d]", c.syms, maxSymbols)
+	}
+	if c.alpha.Size()+1 != c.syms {
+		return bad("automaton compiled over %d symbols, alphabet has %d", c.syms-1, c.alpha.Size())
+	}
+	if len(c.accept) != c.num {
+		return bad("accept table holds %d states, automaton has %d", len(c.accept), c.num)
+	}
+	if err := checkTargets("start states", c.starts, c.num); err != nil {
+		return bad("%v", err)
+	}
+	cells, ok := mul(c.num, c.syms)
+	if !ok {
+		return bad("%d×%d transition cells overflow", c.num, c.syms)
+	}
+	if len(c.callHier) != len(c.callLin) {
+		return bad("%d call linear targets vs %d hierarchical", len(c.callLin), len(c.callHier))
+	}
+	if err := checkOffsets("call offsets", c.callOff, cells, len(c.callLin)); err != nil {
+		return bad("%v", err)
+	}
+	if err := checkTargets("call linear", c.callLin, c.num); err != nil {
+		return bad("%v", err)
+	}
+	if err := checkTargets("call hierarchical", c.callHier, c.num); err != nil {
+		return bad("%v", err)
+	}
+	if err := checkOffsets("internal offsets", c.intOff, cells, len(c.intTo)); err != nil {
+		return bad("%v", err)
+	}
+	if err := checkTargets("internal targets", c.intTo, c.num); err != nil {
+		return bad("%v", err)
+	}
+	if err := checkTargets("return targets", c.retTo, c.num); err != nil {
+		return bad("%v", err)
+	}
+	if c.dense {
+		retCells, ok := mul(c.num, cells)
+		if !ok {
+			return bad("dense return index for %d states overflows", c.num)
+		}
+		if err := checkOffsets("return offsets", c.retOff, retCells, len(c.retTo)); err != nil {
+			return bad("%v", err)
+		}
+	} else {
+		if err := checkAscending(c.retKeys); err != nil {
+			return bad("%v", err)
+		}
+		if err := checkOffsets("sparse return spans", c.retSpan, len(c.retKeys), len(c.retTo)); err != nil {
+			return bad("%v", err)
+		}
+	}
+	if c.w != bitset.Words(c.num) {
+		return bad("mask rows hold %d words, %d states need %d", c.w, c.num, bitset.Words(c.num))
+	}
+	slab, ok := mul(cells, c.w)
+	if !ok || len(c.intMask) != slab || len(c.callMask) != slab {
+		return bad("mask slabs hold %d/%d words, want %d", len(c.intMask), len(c.callMask), slab)
+	}
+	if err := checkMaskBits("internal mask", c.intMask, c.num, c.w); err != nil {
+		return bad("%v", err)
+	}
+	if err := checkMaskBits("call mask", c.callMask, c.num, c.w); err != nil {
+		return bad("%v", err)
+	}
+	// Start/accept rows must mirror the starts slice and accept table.
+	wantStart := bitset.New(c.num)
+	for _, q := range c.starts {
+		wantStart.Set(int(q))
+	}
+	wantAccept := bitset.New(c.num)
+	for q := 0; q < c.num; q++ {
+		if c.accept[q] {
+			wantAccept.Set(q)
+		}
+	}
+	if !c.startRow.Equal(wantStart) {
+		rep.add(name, VetError, "start row disagrees with the start state list")
+	}
+	if !c.acceptRow.Equal(wantAccept) {
+		rep.add(name, VetError, "accept row disagrees with the accept table")
+	}
+	return c.vetMaskConsistency(rep, name)
+}
+
+// vetMaskConsistency cross-checks the bitmask slabs against the CSR
+// adjacency: for every (symbol, state) the internal mask row must hold
+// exactly the internal CSR successors and the call mask row exactly the
+// linear call successors.
+func (c *CompiledN) vetMaskConsistency(rep *VetReport, name string) bool {
+	ok := true
+	row := bitset.New(c.num)
+	check := func(what string, mask []uint64, succ func(q, sym int) []int32) {
+		for sym := 0; sym < c.syms; sym++ {
+			for q := 0; q < c.num; q++ {
+				row.Zero()
+				for _, to := range succ(q, sym) {
+					row.Set(int(to))
+				}
+				if !row.Equal(c.maskRow(mask, sym, q)) {
+					rep.add(name, VetError, fmt.Sprintf(
+						"%s mask row (sym %d, state %d) disagrees with the CSR adjacency", what, sym, q))
+					ok = false
+				}
+			}
+		}
+	}
+	check("internal", c.intMask, func(q, sym int) []int32 { return c.internalSucc(q, sym) })
+	check("call", c.callMask, func(q, sym int) []int32 {
+		lin, _ := c.callSucc(q, sym)
+		return lin
+	})
+	return ok
+}
+
+// --- semantic analysis ---------------------------------------------------
+
+// dnwaGraph exposes a Compiled's defined transitions (dead-sink targets
+// excluded) as a StateGraph for the reachability analysis.
+type dnwaGraph struct{ c *Compiled }
+
+func (g dnwaGraph) NumStates() int         { return g.c.num }
+func (g dnwaGraph) NumSymbols() int        { return g.c.syms }
+func (g dnwaGraph) StartStates() []int     { return []int{int(g.c.start)} }
+func (g dnwaGraph) IsAccepting(q int) bool { return g.c.accept[q] }
+
+func (g dnwaGraph) EachCallEdge(q, sym int, f func(linear, hier int)) {
+	i := q*g.c.syms + sym
+	if lin := g.c.callLin[i]; lin != g.c.dead || g.c.callHier[i] != g.c.dead {
+		f(int(lin), int(g.c.callHier[i]))
+	}
+}
+
+func (g dnwaGraph) EachInternalEdge(q, sym int, f func(to int)) {
+	if to := g.c.internT[q*g.c.syms+sym]; to != g.c.dead {
+		f(int(to))
+	}
+}
+
+func (g dnwaGraph) EachReturnEdge(lin, hier, sym int, f func(to int)) {
+	if to := g.c.stepReturn(int32(lin), int32(hier), sym); to != g.c.dead {
+		f(int(to))
+	}
+}
+
+// nnwaGraph exposes a CompiledN's CSR adjacency as a StateGraph.
+type nnwaGraph struct{ c *CompiledN }
+
+func (g nnwaGraph) NumStates() int  { return g.c.num }
+func (g nnwaGraph) NumSymbols() int { return g.c.syms }
+func (g nnwaGraph) StartStates() []int {
+	out := make([]int, len(g.c.starts))
+	for i, q := range g.c.starts {
+		out[i] = int(q)
+	}
+	return out
+}
+func (g nnwaGraph) IsAccepting(q int) bool { return g.c.accept[q] }
+
+func (g nnwaGraph) EachCallEdge(q, sym int, f func(linear, hier int)) {
+	lins, hiers := g.c.callSucc(q, sym)
+	for i, lin := range lins {
+		f(int(lin), int(hiers[i]))
+	}
+}
+
+func (g nnwaGraph) EachInternalEdge(q, sym int, f func(to int)) {
+	for _, to := range g.c.internalSucc(q, sym) {
+		f(int(to))
+	}
+}
+
+func (g nnwaGraph) EachReturnEdge(lin, hier, sym int, f func(to int)) {
+	for _, to := range g.c.returnSucc(int32(lin), int32(hier), sym) {
+		f(int(to))
+	}
+}
+
+// liveSets runs the reachability analysis and derives the hierarchical
+// usage and return-edge eligibility sets shared by both compiled forms:
+// hierOK[h] is true when a return edge with hierarchical component h can
+// fire — h is the hierarchical target of a call from a reachable state, or
+// an initial state (pending returns, Section 3.1).
+func liveSets(g nwa.StateGraph) (reach, hier, hierOK []bool) {
+	reach = nwa.ReachableStates(g)
+	hier = nwa.HierarchicalTargets(g, reach)
+	hierOK = make([]bool, len(hier))
+	copy(hierOK, hier)
+	for _, q := range g.StartStates() {
+		if q >= 0 && q < len(hierOK) {
+			hierOK[q] = true
+		}
+	}
+	return reach, hier, hierOK
+}
+
+// vetSemantics runs the reachability/coaccessibility analysis of one query
+// and appends its stats and warnings.  deadState is the designated DNWA sink
+// (excluded from the dead-weight warnings; -1 for NNWAs), and deadTrans
+// counts the defined transitions that cannot fire given the live sets.
+func vetSemantics(rep *VetReport, name, form string, g nwa.StateGraph, deadState int, deadTrans func(reach, hierOK []bool) int) {
+	reach, hier, hierOK := liveSets(g)
+	stats := VetQueryStats{Name: name, Form: form, States: g.NumStates(), NonCoaccessible: -1}
+	for q, r := range reach {
+		if r {
+			stats.Reachable++
+		} else if !hier[q] && q != deadState {
+			stats.Unreachable = append(stats.Unreachable, q)
+		}
+	}
+	sort.Ints(stats.Unreachable)
+	for _, q := range stats.Unreachable {
+		rep.add(name, VetWarning, fmt.Sprintf("state %d is unreachable", q))
+	}
+	stats.DeadTransitions = deadTrans(reach, hierOK)
+	if stats.DeadTransitions > 0 {
+		rep.add(name, VetWarning, fmt.Sprintf("%d dead transitions can never fire", stats.DeadTransitions))
+	}
+	if g.NumStates() <= vetCoaccessLimit {
+		co := nwa.CoaccessibleStates(g, hierOK)
+		stats.NonCoaccessible = 0
+		empty := true
+		for q, r := range reach {
+			if !r || q == deadState {
+				continue
+			}
+			if !co[q] {
+				stats.NonCoaccessible++
+				rep.add(name, VetWarning, fmt.Sprintf("state %d cannot reach an accepting state", q))
+			} else {
+				empty = false
+			}
+		}
+		if empty {
+			rep.add(name, VetWarning, "query accepts no document (no reachable state is coaccessible)")
+		}
+	}
+	rep.Queries = append(rep.Queries, stats)
+}
+
+// countDeadTransitions counts the defined DNWA transitions that cannot fire:
+// call and internal cells out of unreachable states, and return edges whose
+// linear source is unreachable or whose hierarchical component no reachable
+// call (and no pending return) supplies.
+func (c *Compiled) countDeadTransitions(reach, hierOK []bool) int {
+	dead := 0
+	for q := 0; q < c.num; q++ {
+		if reach[q] {
+			continue
+		}
+		for sym := 0; sym < c.syms; sym++ {
+			i := q*c.syms + sym
+			if c.callLin[i] != c.dead || c.callHier[i] != c.dead {
+				dead++
+			}
+			if c.internT[i] != c.dead {
+				dead++
+			}
+		}
+	}
+	c.eachReturnEdge(func(lin, hier, sym, to int) {
+		if !reach[lin] || !hierOK[hier] {
+			dead++
+		}
+	})
+	return dead
+}
+
+// countDeadTransitions counts the CSR entries of a CompiledN that cannot
+// fire, under the same definition as the Compiled form.
+func (c *CompiledN) countDeadTransitions(reach, hierOK []bool) int {
+	dead := 0
+	for q := 0; q < c.num; q++ {
+		if reach[q] {
+			continue
+		}
+		for sym := 0; sym < c.syms; sym++ {
+			i := q*c.syms + sym
+			dead += int(c.callOff[i+1] - c.callOff[i])
+			dead += int(c.intOff[i+1] - c.intOff[i])
+		}
+	}
+	c.eachReturnIndex(func(lin, hier, sym, n int) {
+		if !reach[lin] || !hierOK[hier] {
+			dead += n
+		}
+	})
+	return dead
+}
+
+// eachReturnIndex enumerates the populated return index cells of either
+// return representation, with the number of targets per cell.
+func (c *CompiledN) eachReturnIndex(f func(lin, hier, sym, n int)) {
+	decompose := func(idx int) (lin, hier, sym int) {
+		sym = idx % c.syms
+		lh := idx / c.syms
+		return lh / c.num, lh % c.num, sym
+	}
+	if c.dense {
+		for i := 0; i+1 < len(c.retOff); i++ {
+			if n := int(c.retOff[i+1] - c.retOff[i]); n > 0 {
+				lin, hier, sym := decompose(i)
+				f(lin, hier, sym, n)
+			}
+		}
+		return
+	}
+	for i, key := range c.retKeys {
+		if n := int(c.retSpan[i+1] - c.retSpan[i]); n > 0 {
+			lin, hier, sym := decompose(int(key))
+			f(lin, hier, sym, n)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package query
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/nwa"
+)
+
+// unreachableNNWA extends the golden automaton with two states the start
+// states can never reach (state 4 is no call's hierarchical target either),
+// one dead internal transition between them, and one dead return whose
+// hierarchical component nothing supplies.
+func unreachableNNWA() *nwa.NNWA {
+	a := nwa.NewNNWA(goldenAlphabet(), 6)
+	a.AddStart(0)
+	a.AddStart(2)
+	a.AddAccept(3)
+	a.AddInternal(0, "a", 1)
+	a.AddInternal(1, "b", 2)
+	a.AddInternal(2, "a", 3)
+	a.AddCall(0, "a", 1, 2)
+	a.AddCall(2, "b", 3, 0)
+	a.AddReturn(1, 2, "a", 3)
+	a.AddReturn(3, 0, "b", 3)
+	a.AddInternal(4, "a", 5)
+	a.AddReturn(1, 5, "a", 3)
+	return a
+}
+
+func TestVetGoldenFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.nwq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no golden fixtures under testdata/")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VetBytes(data)
+		if err != nil {
+			t.Fatalf("%s: VetBytes: %v", f, err)
+		}
+		if n := rep.Errors(); n != 0 {
+			t.Errorf("%s: %d vet errors:\n%s", f, n, rep)
+		}
+	}
+}
+
+func TestVetBundleClean(t *testing.T) {
+	rep := VetBundle(goldenBundle(t))
+	if rep.Errors() != 0 || rep.Warnings() != 0 {
+		t.Errorf("golden bundle should vet clean, got:\n%s", rep)
+	}
+	if len(rep.Queries) != 3 {
+		t.Fatalf("got stats for %d queries, want 3", len(rep.Queries))
+	}
+	for _, s := range rep.Queries {
+		if len(s.Unreachable) != 0 || s.DeadTransitions != 0 {
+			t.Errorf("query %q: %d unreachable states, %d dead transitions; want none",
+				s.Name, len(s.Unreachable), s.DeadTransitions)
+		}
+	}
+}
+
+func TestVetReportsUnreachableStates(t *testing.T) {
+	b := NewBundle(goldenAlphabet())
+	if err := b.Add("partial", CompileN(unreachableNNWA())); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VetBytes(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("unreachable states are warnings, got errors:\n%s", rep)
+	}
+	if len(rep.Queries) != 1 {
+		t.Fatalf("got stats for %d queries, want 1", len(rep.Queries))
+	}
+	s := rep.Queries[0]
+	if s.States != 6 || s.Reachable != 4 {
+		t.Errorf("stats = %d states / %d reachable, want 6 / 4", s.States, s.Reachable)
+	}
+	if len(s.Unreachable) != 2 || s.Unreachable[0] != 4 || s.Unreachable[1] != 5 {
+		t.Errorf("Unreachable = %v, want [4 5]", s.Unreachable)
+	}
+	// The internal transition 4→5 and the return over the unsupplied
+	// hierarchical component 5 can never fire.
+	if s.DeadTransitions != 2 {
+		t.Errorf("DeadTransitions = %d, want 2", s.DeadTransitions)
+	}
+	text := rep.String()
+	for _, want := range []string{"state 4 is unreachable", "state 5 is unreachable", "2 dead transitions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report does not mention %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVetRejectsCorruptedBundle(t *testing.T) {
+	data := goldenBundle(t).Marshal()
+
+	truncated := data[:len(data)/2]
+	if _, err := VetBytes(truncated); err == nil {
+		t.Error("truncated bundle was not rejected")
+	}
+
+	smashed := append([]byte(nil), data...)
+	smashed[0] ^= 0xff
+	if _, err := VetBytes(smashed); err == nil {
+		t.Error("bundle with a corrupted magic was not rejected")
+	}
+}
+
+func TestVetCatchesMaskCSRDisagreement(t *testing.T) {
+	// Clear one legitimately-set internal mask bit, so both representations
+	// stay individually valid — every decode check passes — and only the
+	// cross-representation vet can see the disagreement.
+	c := CompileN(goldenNNWA())
+	row := c.maskRow(c.intMask, 0, 0) // internal (state 0, "a") → {1}
+	if !row.Has(1) {
+		t.Fatal("fixture changed: internal mask (sym a, state 0) no longer holds state 1")
+	}
+	row.Unset(1)
+
+	b := NewBundle(goldenAlphabet())
+	if err := b.Add("tampered", c); err != nil {
+		t.Fatal(err)
+	}
+	data := b.Marshal()
+	if _, err := UnmarshalBundle(data); err != nil {
+		t.Fatalf("tampered bundle should still decode (the point of the vet check): %v", err)
+	}
+	rep, err := VetBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() == 0 {
+		t.Fatalf("mask/CSR disagreement was not flagged:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "internal mask row (sym 0, state 0) disagrees") {
+		t.Errorf("unexpected error wording:\n%s", rep)
+	}
+}
+
+func TestVetEmptyLanguageWarning(t *testing.T) {
+	// An automaton whose only accepting state is unreachable accepts
+	// nothing; vet must say so rather than just count the dead state.
+	a := nwa.NewNNWA(goldenAlphabet(), 3)
+	a.AddStart(0)
+	a.AddAccept(2)
+	a.AddInternal(0, "a", 1)
+	a.AddInternal(1, "b", 0)
+	b := NewBundle(goldenAlphabet())
+	if err := b.Add("empty", CompileN(a)); err != nil {
+		t.Fatal(err)
+	}
+	rep := VetBundle(b)
+	if rep.Errors() != 0 {
+		t.Fatalf("empty language is a warning, got errors:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "accepts no document") {
+		t.Errorf("missing empty-language warning:\n%s", rep)
+	}
+}

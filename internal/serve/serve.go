@@ -171,8 +171,8 @@ type Pool struct {
 	shards []chan job
 	rr     atomic.Uint64 // round-robin cursor for AffinityNone
 
-	mu     sync.RWMutex // guards closed against concurrent Submit/Close
-	closed bool
+	mu     sync.RWMutex // guards the fields below against concurrent Submit/Close
+	closed bool         // guarded by mu
 	wg     sync.WaitGroup
 
 	served atomic.Int64

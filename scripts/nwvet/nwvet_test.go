@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// collect loads one fixture directory and runs an analyzer over every unit
+// in it, returning the violation lines.
+func collect(t *testing.T, dir string, run func(*unit, reportFunc)) []string {
+	t.Helper()
+	units, err := loadUnits(dir)
+	if err != nil {
+		t.Fatalf("loadUnits(%s): %v", dir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("loadUnits(%s): no Go files found", dir)
+	}
+	var got []string
+	report := func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	}
+	for _, u := range units {
+		run(u, report)
+	}
+	return got
+}
+
+// wantFindings asserts the exact violation count and that every expected
+// fragment appears in some finding.
+func wantFindings(t *testing.T, got []string, fragments []string) {
+	t.Helper()
+	if len(got) != len(fragments) {
+		t.Errorf("got %d findings, want %d:\n%s", len(got), len(fragments), strings.Join(got, "\n"))
+	}
+	for _, frag := range fragments {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q in:\n%s", frag, strings.Join(got, "\n"))
+		}
+	}
+}
+
+func TestHotpathAllocSeededViolations(t *testing.T) {
+	got := collect(t, "testdata/hotpath_bad", analyzeHotpathAlloc)
+	wantFindings(t, got, []string{
+		"calls make, which allocates",
+		"allocates a map literal",
+		"allocates a slice literal",
+		"heap-allocates an addressed composite literal",
+		"allocates a closure",
+		"calls fmt.Println",
+		"converts to string",
+		"converts to a slice type",
+		"append result does not feed back into w.buf",
+		"assigns into a map",
+		"boxes n into interface parameter 0",
+	})
+	for _, g := range got {
+		if !strings.Contains(g, "hotpath-alloc: step ") {
+			t.Errorf("finding not attributed to the annotated function: %s", g)
+		}
+	}
+}
+
+func TestHotpathAllocCleanFixture(t *testing.T) {
+	if got := collect(t, "testdata/hotpath_clean", analyzeHotpathAlloc); len(got) != 0 {
+		t.Errorf("clean hotpath fixture flagged:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestUnsafeConfinementSeededViolations(t *testing.T) {
+	got := collect(t, "testdata/unsafe_bad", func(u *unit, r reportFunc) {
+		analyzeUnsafeConfinement(u, false, r)
+	})
+	wantFindings(t, got, []string{
+		"import of unsafe",
+		"reflect.SliceHeader",
+	})
+
+	// The same file inside the allowed directory is fine.
+	allowed := collect(t, "testdata/unsafe_bad", func(u *unit, r reportFunc) {
+		analyzeUnsafeConfinement(u, true, r)
+	})
+	if len(allowed) != 0 {
+		t.Errorf("allowed directory still flagged:\n%s", strings.Join(allowed, "\n"))
+	}
+}
+
+func TestLockedFieldSeededViolation(t *testing.T) {
+	got := collect(t, "testdata/locked_bad", analyzeLockedFields)
+	wantFindings(t, got, []string{
+		"bad touches p.closed (guarded by mu) without holding the mutex",
+	})
+}
+
+func TestErrorDisciplineSeededViolation(t *testing.T) {
+	got := collect(t, "testdata/errpanic_bad", analyzeErrorDiscipline)
+	wantFindings(t, got, []string{
+		"decode panics",
+	})
+}
+
+// TestCleanFixture runs every analyzer plus the doc checks over the
+// known-clean fixture; nothing may fire.
+func TestCleanFixture(t *testing.T) {
+	got := collect(t, "testdata/clean", func(u *unit, r reportFunc) {
+		analyzeHotpathAlloc(u, r)
+		analyzeUnsafeConfinement(u, false, r)
+		analyzeLockedFields(u, r)
+		analyzeErrorDiscipline(u, r)
+		checkDocComments(u, r)
+	})
+	if len(got) != 0 {
+		t.Errorf("clean fixture flagged:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestRepoVetsClean is the self-application gate: the whole repository —
+// annotated hot paths, unsafe confinement, guarded fields, decode paths,
+// documentation invariants — must pass its own analyzer suite.
+func TestRepoVetsClean(t *testing.T) {
+	problems, err := runNwvet("../..")
+	if err != nil {
+		t.Fatalf("runNwvet: %v", err)
+	}
+	for _, p := range problems {
+		t.Errorf("nwvet: %s", p)
+	}
+}

@@ -1,27 +1,12 @@
-// Command repolint enforces the repository's documentation invariants in
-// CI:
-//
-//   - every Go package (including commands and examples) carries a package
-//     doc comment, so `go doc` output is usable for all of them;
-//   - every exported top-level identifier — funcs, methods on exported
-//     types, types, consts, vars — carries a doc comment;
-//   - every relative link in the repository's Markdown files points at a
-//     file or directory that exists;
-//   - every experiment ID in experiments.Index() appears in the
-//     docs/EXPERIMENTS.md index table, and vice versa, so the experiment
-//     documentation cannot drift from the code;
-//   - every BENCH_E*.json benchmark artifact at the repository root
-//     corresponds to an experiment in experiments.ArtifactIDs(), and vice
-//     versa, so stale (or missing) committed benchmark baselines are
-//     flagged the moment the artifact set changes.
-//
-// It prints one line per violation and exits non-zero if there are any.
+// Documentation and repository-hygiene checks, folded in from the retired
+// scripts/repolint command so CI has a single static-analysis entry point:
+// package and exported-identifier doc comments, relative Markdown link
+// targets, the experiment index, and the committed benchmark baselines.
 package main
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
@@ -32,94 +17,26 @@ import (
 	"repro/internal/experiments"
 )
 
-func main() {
-	root := "."
-	if len(os.Args) > 1 {
-		root = os.Args[1]
-	}
-	var problems []string
-	report := func(format string, args ...any) {
-		problems = append(problems, fmt.Sprintf(format, args...))
-	}
-
-	if err := lintGo(root, report); err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
-	}
-	if err := lintMarkdownLinks(root, report); err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
-	}
-	if err := lintExperimentIndex(root, report); err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
-	}
-	if err := lintBenchArtifacts(root, report); err != nil {
-		fmt.Fprintln(os.Stderr, "repolint:", err)
-		os.Exit(2)
-	}
-
-	for _, p := range problems {
-		fmt.Println(p)
-	}
-	if len(problems) > 0 {
-		fmt.Printf("repolint: %d problems\n", len(problems))
-		os.Exit(1)
-	}
-	fmt.Println("repolint: ok")
-}
-
-// lintGo walks every non-test Go file, checking package comments per
-// package directory and doc comments per exported identifier.
-func lintGo(root string, report func(string, ...any)) error {
-	fset := token.NewFileSet()
-	// pkgDoc tracks, per package directory, whether some file documented
-	// the package clause.
-	pkgDoc := map[string]bool{}
-	pkgFirstFile := map[string]string{}
-
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == ".git" || (name != "." && strings.HasPrefix(name, ".") && path != root) {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		dir := filepath.Dir(path)
-		if _, seen := pkgDoc[dir]; !seen {
-			pkgDoc[dir] = false
-			pkgFirstFile[dir] = path
-		}
+// checkDocComments enforces the documentation invariants on one package
+// directory: some file documents the package clause, and every exported
+// top-level identifier carries a doc comment.
+func checkDocComments(u *unit, report reportFunc) {
+	documented := false
+	for _, file := range u.files {
 		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
-			pkgDoc[dir] = true
-		}
-		lintDecls(fset, path, file, report)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	for dir, ok := range pkgDoc {
-		if !ok {
-			report("%s: package in %s has no package doc comment", pkgFirstFile[dir], dir)
+			documented = true
 		}
 	}
-	return nil
+	if !documented && len(u.paths) > 0 {
+		report("%s: package in %s has no package doc comment", u.paths[0], u.dir)
+	}
+	for i, file := range u.files {
+		lintDecls(u.fset, u.paths[i], file, report)
+	}
 }
 
 // lintDecls reports exported top-level identifiers without doc comments.
-func lintDecls(fset *token.FileSet, path string, file *ast.File, report func(string, ...any)) {
+func lintDecls(fset *token.FileSet, path string, file *ast.File, report reportFunc) {
 	exportedTypes := map[string]bool{}
 	for _, decl := range file.Decls {
 		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
@@ -209,7 +126,7 @@ var experimentRow = regexp.MustCompile(`(?m)^\|\s*(E\d+)\s*\|`)
 // lintExperimentIndex cross-checks experiments.Index() against the index
 // table of docs/EXPERIMENTS.md: every ID the code knows must be documented,
 // and every documented ID must exist in the code.
-func lintExperimentIndex(root string, report func(string, ...any)) error {
+func lintExperimentIndex(root string, report reportFunc) error {
 	path := filepath.Join(root, "docs", "EXPERIMENTS.md")
 	body, err := os.ReadFile(path)
 	if err != nil {
@@ -239,7 +156,7 @@ func lintExperimentIndex(root string, report func(string, ...any)) error {
 // file whose experiment no longer records an artifact is stale, and an
 // artifact-recording experiment without a committed baseline leaves the
 // bench-regression gate's fallback without a point of comparison.
-func lintBenchArtifacts(root string, report func(string, ...any)) error {
+func lintBenchArtifacts(root string, report reportFunc) error {
 	files, err := filepath.Glob(filepath.Join(root, "BENCH_E*.json"))
 	if err != nil {
 		return fmt.Errorf("bench artifacts: %w", err)
@@ -265,6 +182,7 @@ func lintBenchArtifacts(root string, report func(string, ...any)) error {
 	return nil
 }
 
+// mdLink matches the target of one inline Markdown link.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 // stripCode blanks out fenced code blocks and inline code spans so that
@@ -301,7 +219,7 @@ func stripCode(s string) string {
 
 // lintMarkdownLinks checks that every relative link target in the
 // repository's Markdown files exists.
-func lintMarkdownLinks(root string, report func(string, ...any)) error {
+func lintMarkdownLinks(root string, report reportFunc) error {
 	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err

@@ -1,0 +1,30 @@
+// Package fixture is the known-clean fixture: every nwvet analyzer runs
+// over it and must report nothing.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	n   int // guarded by mu
+	buf []int
+}
+
+// bump increments the guarded counter under its lock.
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// hot is an annotated allocation-free accumulation loop.
+//
+//nwvet:hotpath
+func (c *counter) hot(vs []int) int {
+	sum := 0
+	for _, v := range vs {
+		sum += v
+	}
+	c.buf = append(c.buf, sum)
+	return sum
+}

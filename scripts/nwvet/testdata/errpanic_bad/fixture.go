@@ -1,0 +1,22 @@
+// Package fixture seeds an error-discipline violation: a decode path that
+// panics on bad input instead of returning an error.
+package fixture
+
+import "errors"
+
+// decode must return an error on bad input, not panic.
+func decode(b []byte) error {
+	if len(b) == 0 {
+		panic("empty input")
+	}
+	return errors.New("unsupported")
+}
+
+// mustDecode's contract is the panic; the annotation acknowledges it.
+//
+//nwvet:allowpanic
+func mustDecode(b []byte) {
+	if err := decode(b); err != nil {
+		panic(err)
+	}
+}

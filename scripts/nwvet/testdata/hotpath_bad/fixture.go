@@ -1,0 +1,32 @@
+// Package fixture seeds one of every hotpath-alloc violation class for the
+// analyzer's golden tests.
+package fixture
+
+import "fmt"
+
+type widget struct {
+	buf   []int
+	table map[string]int
+}
+
+func consumeAny(v interface{}) interface{} { return v }
+
+// step is annotated hot but allocates in every way the analyzer forbids.
+//
+//nwvet:hotpath
+func (w *widget) step(n int) int {
+	s := make([]int, n)           // make
+	m := map[string]int{"n": n}   // map literal
+	lit := []int{n, n}            // slice literal
+	ptr := &widget{}              // addressed composite literal
+	fn := func() int { return n } // closure
+	fmt.Println(n)                // fmt call
+	name := string(rune(n))       // string conversion
+	raw := []byte(name)           // slice conversion
+	grown := append(w.buf, n)     // append that does not feed back
+	w.table[name] = n             // map index assignment
+	consumeAny(n)                 // interface boxing
+	_, _, _, _, _ = s, m, lit, ptr, raw
+	_ = grown
+	return fn()
+}

@@ -1,0 +1,23 @@
+// Package fixture is the hotpath-alloc known-clean fixture: the annotated
+// function uses only sanctioned patterns.
+package fixture
+
+type pair struct{ a, b int }
+
+type ring struct {
+	buf []int
+}
+
+func (r *ring) helper(n int) int { return n }
+
+// push stays allocation-free: amortized append growth (including the
+// reslice-to-zero spelling), value struct literals, and calls to
+// unannotated helpers are all allowed.
+//
+//nwvet:hotpath
+func (r *ring) push(n int) int {
+	r.buf = append(r.buf, n)
+	r.buf = append(r.buf[:0], n)
+	v := pair{a: n, b: n}
+	return r.helper(v.a + v.b)
+}

@@ -1,0 +1,36 @@
+// Package fixture seeds a locked-field violation: pool.closed is guarded
+// by mu, and one method touches it without the lock.
+package fixture
+
+import "sync"
+
+type pool struct {
+	mu     sync.RWMutex
+	closed bool // guarded by mu
+}
+
+// bad reads the guarded field without the lock.
+func (p *pool) bad() bool {
+	return p.closed
+}
+
+// good holds the read lock.
+func (p *pool) good() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
+// shutdown holds the write lock.
+func (p *pool) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}
+
+// owner runs on the goroutine that owns the pool before it is published.
+//
+//nwvet:locked mu
+func (p *pool) owner() {
+	p.closed = false
+}

@@ -1,0 +1,15 @@
+// Package fixture seeds unsafe-confinement violations: an unsafe import
+// and a reflect header reinterpretation outside internal/query/format.
+package fixture
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+// reinterpret uses both forbidden escape hatches.
+func reinterpret(p *int) unsafe.Pointer {
+	var h reflect.SliceHeader
+	_ = h
+	return unsafe.Pointer(p)
+}
