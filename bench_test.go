@@ -1,5 +1,5 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment (E1..E25, excluding E18 which was not implemented — see
+// per experiment (E1..E26, excluding E18 which was not implemented — see
 // docs/EXPERIMENTS.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
@@ -170,6 +170,12 @@ func BenchmarkE25_ColdStart(b *testing.B) {
 	}
 }
 
+func BenchmarkE26_HTTPServing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E26HTTPServing(150, 2000))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -277,6 +283,15 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e25.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E25: bundle-loaded verdicts diverge from freshly compiled queries on row %v", row)
+		}
+	}
+	e26 := experiments.E26HTTPServing(60, 800)
+	if len(e26.Rows) == 0 {
+		t.Error("E26 produced no rows")
+	}
+	for _, row := range e26.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E26: HTTP or pool verdicts diverge from serial evaluation on row %v", row)
 		}
 	}
 }

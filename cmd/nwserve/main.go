@@ -1,7 +1,9 @@
 // Command nwserve serves many XML-like documents through a sharded
 // serve.Pool against one compiled query set, and reports aggregate verdicts
 // and throughput — the multi-document counterpart of cmd/nwquery's
-// single-document pass.
+// single-document pass.  (For the long-running HTTP daemon over the same
+// pool — network clients, zero-downtime bundle reloads, metrics — see
+// cmd/nwserved.)
 //
 // Usage:
 //

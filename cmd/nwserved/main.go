@@ -1,0 +1,125 @@
+// Command nwserved is the long-running HTTP serving daemon: it boots a
+// sharded serve.Pool from a serialized query bundle and answers per-query
+// verdicts over HTTP — the network-facing counterpart of cmd/nwserve's
+// batch run.
+//
+// Usage:
+//
+//	nwserved -queryset queries.nwq [-addr :8417]
+//	         [-shards n] [-queue n] [-affinity hash|none]
+//	         [-max-body bytes]
+//
+// Endpoints:
+//
+//	POST /v1/documents[?id=ID]  one document per request (body = document
+//	                            text in the XML-like syntax); the response
+//	                            is the per-query verdict set as JSON.  A
+//	                            full shard queue answers 429, a shutting-
+//	                            down server 503, both with Retry-After.
+//	POST /v1/batch              NDJSON stream, one {"id","doc"} per line;
+//	                            one verdict line per input line, in input
+//	                            order, under the pool's backpressure.
+//	POST /v1/reload             reload the bundle file and swap pools with
+//	                            zero downtime (SIGHUP does the same).
+//	GET  /v1/status             active bundle identity (the schema `nwtool
+//	                            bundle -json` prints), pool shape, counters.
+//	GET  /metrics               Prometheus text exposition.
+//	GET  /debug/vars            expvar JSON (includes the "nwserved" var).
+//
+// The bundle is re-opened from the same -queryset path on every reload, so
+// a deploy is: write the new bundle (atomically, e.g. rename into place),
+// then `kill -HUP` or POST /v1/reload.  In-flight documents finish on the
+// old pool; the old bundle is unmapped only after the last of them is done.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8417", "listen address")
+	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile` (required)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of pool shards (worker sessions)")
+	queue := flag.Int("queue", 64, "bounded queue depth per shard (backpressure)")
+	affinityFlag := flag.String("affinity", "hash", "document-to-shard routing: hash (by document id) or none (round-robin)")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum single-document body size in bytes")
+	flag.Parse()
+
+	if *queryset == "" {
+		fatal(errors.New("-queryset is required (compile one with `nwtool compile`)"))
+	}
+	affinity, err := serve.ParseAffinity(*affinityFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		BundlePath:   *queryset,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		Affinity:     affinity,
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.PublishExpvar("nwserved")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGHUP reloads the bundle in place; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if info, err := srv.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "nwserved: reload failed, keeping current bundle:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "nwserved: reloaded %s (generation %d, %d queries)\n",
+					info.Path, info.Generation, len(info.Bundle.Queries))
+			}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	info, err := srv.BundleInfo()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "nwserved: serving %s (%d queries over %d symbols) on %s, %d shards (affinity %s)\n",
+		info.Path, len(info.Bundle.Queries), info.Bundle.AlphabetSize, *addr, *shards, affinity)
+
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwserved:", err)
+	os.Exit(1)
+}

@@ -14,7 +14,9 @@
 //	                                compile the query set once and write a
 //	                                serialized bundle; nwquery and nwserve
 //	                                boot from it with -queryset FILE
-//	nwtool bundle FILE              describe a serialized bundle
+//	nwtool bundle [-json] FILE      describe a serialized bundle (with -json,
+//	                                the machine-readable schema /v1/status of
+//	                                nwserved shares)
 //	nwtool vet FILE                 statically verify a compiled artifact
 //
 // The compile subcommand builds exactly the query set nwquery and nwserve
@@ -32,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -78,7 +81,7 @@ func main() {
 	case "compile":
 		compileBundle(os.Args[2:])
 	case "bundle":
-		describeBundle(os.Args[2])
+		describeBundle(os.Args[2:])
 	case "vet":
 		vetArtifact(os.Args[2])
 	default:
@@ -116,24 +119,34 @@ func compileBundle(args []string) {
 	}
 }
 
-// describeBundle loads a serialized bundle and summarizes its contents.
-func describeBundle(path string) {
+// describeBundle loads a serialized bundle and summarizes its contents —
+// human-readable by default, or with -json as the machine-readable
+// query.BundleDesc schema shared with the serving front-end's /v1/status
+// endpoint, so ops tooling can diff what is on disk against what a server
+// actually loaded.
+func describeBundle(args []string) {
+	fs := flag.NewFlagSet("nwtool bundle", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the machine-readable bundle description (the schema /v1/status shares)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
 	b, err := query.OpenBundle(path)
 	exitOn(err)
 	defer b.Close()
+	desc := query.Describe(b)
+	if *asJSON {
+		body, err := json.MarshalIndent(desc, "", "  ")
+		exitOn(err)
+		fmt.Printf("%s\n", body)
+		return
+	}
 	fmt.Printf("bundle   : %s\n", path)
-	fmt.Printf("alphabet : %v (%d symbols)\n", b.Alphabet(), b.Alphabet().Size())
-	fmt.Printf("queries  : %d\n", b.Len())
-	for i, name := range b.Names() {
-		kind := "dnwa"
-		states := 0
-		switch c := b.Query(i).(type) {
-		case *query.Compiled:
-			states = c.NumStates()
-		case *query.CompiledN:
-			kind, states = "nnwa", c.NumStates()
-		}
-		fmt.Printf("  %-30s %s, %d states\n", name, kind, states)
+	fmt.Printf("alphabet : %v (%d symbols)\n", b.Alphabet(), desc.AlphabetSize)
+	fmt.Printf("queries  : %d\n", len(desc.Queries))
+	for _, q := range desc.Queries {
+		fmt.Printf("  %-30s %s, %d states\n", q.Name, q.Kind, q.States)
 	}
 }
 

@@ -1285,6 +1285,7 @@ func Index() []Info {
 		{"E23", "serve: sharded multi-document pool vs serial and goroutine-per-document"},
 		{"E24", "bitset: packed uint64 summary rows vs []bool matrix NNWA runner, 4–256 states"},
 		{"E25", "qset: serialized bundle load / mmap cold start vs parse+compile, 1–64 queries"},
+		{"E26", "server: open-loop HTTP serving vs direct pool submission, latency vs shard count"},
 	}
 }
 
@@ -1294,7 +1295,7 @@ func Index() []Info {
 // BENCH_E*.json files at the repository root against this list, and
 // scripts/benchcmp compares fresh artifacts against previous ones, so the
 // list is the single source of truth for what the perf trajectory tracks.
-func ArtifactIDs() []string { return []string{"E21", "E22", "E23", "E24", "E25"} }
+func ArtifactIDs() []string { return []string{"E21", "E22", "E23", "E24", "E25", "E26"} }
 
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
@@ -1323,6 +1324,7 @@ func All() []Table {
 		E23ShardedServing(100, 2000),
 		E24BitsetRunner(256),
 		E25ColdStart(64),
+		E26HTTPServing(150, 2000),
 	}
 }
 

@@ -1,0 +1,43 @@
+package query
+
+// QueryDesc is the machine-readable description of one compiled query in a
+// bundle: its bundle name, its runner kind ("dnwa" for deterministic
+// compiled tables, "nnwa" for the nondeterministic state-set runner), and
+// its state count.
+type QueryDesc struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	States int    `json:"states"`
+}
+
+// BundleDesc is the machine-readable description of a loaded query bundle.
+// It is the one schema shared by ops tooling (`nwtool bundle -json`) and
+// the serving front-end (the `bundle` object of `GET /v1/status`), so a
+// dashboard comparing what is on disk against what a server actually
+// loaded compares like with like.
+type BundleDesc struct {
+	Alphabet     []string    `json:"alphabet"`
+	AlphabetSize int         `json:"alphabet_size"`
+	Queries      []QueryDesc `json:"queries"`
+}
+
+// Describe summarizes a loaded bundle: shared alphabet, and per query the
+// name, kind, and state count.
+func Describe(b *Bundle) BundleDesc {
+	d := BundleDesc{
+		Alphabet:     b.Alphabet().Symbols(),
+		AlphabetSize: b.Alphabet().Size(),
+		Queries:      make([]QueryDesc, 0, b.Len()),
+	}
+	for i := 0; i < b.Len(); i++ {
+		q := QueryDesc{Name: b.Name(i), Kind: "dnwa"}
+		switch c := b.Query(i).(type) {
+		case *Compiled:
+			q.States = c.NumStates()
+		case *CompiledN:
+			q.Kind, q.States = "nnwa", c.NumStates()
+		}
+		d.Queries = append(d.Queries, q)
+	}
+	return d
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts documents whose submit-to-result latency d satisfies
+// 2^i ns ≤ d < 2^(i+1) ns, so the histogram spans 1 ns up to ~1.2 min
+// (bucket 35 additionally absorbs everything slower).  Power-of-two edges
+// keep observation to one bits.Len64 plus one atomic add — cheap enough
+// for the shard worker loop — at the cost of quantiles being upper bounds
+// within a factor of two, which is plenty for p50/p99 dashboards.
+const histBuckets = 36
+
+// histogram is a fixed-bucket, lock-free latency histogram.  All methods
+// are safe for concurrent use; Snapshot may run while workers observe.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// observe records one latency sample.
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns)) // 0 for 0 ns, else floor(log2)+1
+	if i > 0 {
+		i--
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// LatencyBucket is one bucket of the latency histogram snapshot: the count
+// of samples at or below the bucket's upper bound (cumulative, the way
+// Prometheus histogram `le` buckets are defined).
+type LatencyBucket struct {
+	UpperBound time.Duration
+	Count      int64
+}
+
+// LatencyStats is a snapshot of the pool's per-document latency histogram,
+// measured from successful submission to result completion (queue wait
+// included).  The quantiles are upper bounds accurate to within the 2×
+// bucket width; Max is exact.
+type LatencyStats struct {
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Buckets []LatencyBucket // cumulative counts, ascending upper bounds
+}
+
+// snapshot freezes the histogram into a LatencyStats, computing quantiles
+// from the bucket counts.  Buckets above the highest non-empty one are
+// dropped so exports stay small.
+func (h *histogram) snapshot() LatencyStats {
+	var counts [histBuckets]int64
+	total := int64(0)
+	top := -1
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	st := LatencyStats{
+		Count: total,
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	if total == 0 {
+		return st
+	}
+	quantile := func(q float64) time.Duration {
+		want := int64(q * float64(total))
+		if want < 1 {
+			want = 1
+		}
+		cum := int64(0)
+		for i := 0; i <= top; i++ {
+			cum += counts[i]
+			if cum >= want {
+				return time.Duration(uint64(1) << uint(i+1)) // bucket upper bound
+			}
+		}
+		return st.Max
+	}
+	st.P50 = quantile(0.50)
+	st.P90 = quantile(0.90)
+	st.P99 = quantile(0.99)
+	cum := int64(0)
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		st.Buckets = append(st.Buckets, LatencyBucket{
+			UpperBound: time.Duration(uint64(1) << uint(i+1)),
+			Count:      cum,
+		})
+	}
+	return st
+}

@@ -35,14 +35,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/docstream"
 	"repro/internal/engine"
 	"repro/internal/query"
 )
 
-// ErrClosed is returned by Submit variants after Close has begun.
+// ErrClosed is returned by Submit variants after Close has begun.  A
+// network front-end maps it to 503 Service Unavailable with a Retry-After
+// hint: the process is going away (or swapping pools) and the client
+// should try again elsewhere.
 var ErrClosed = errors.New("serve: pool closed")
+
+// ErrQueueFull is returned by the TrySubmit variants when the target
+// shard's bounded queue is full.  Unlike ErrClosed this is a transient
+// overload signal — a network front-end maps it to 429 Too Many Requests
+// so load sheds at the edge instead of accumulating blocked handlers.
+var ErrQueueFull = errors.New("serve: shard queue full")
 
 // Affinity selects how documents are routed to shards.
 type Affinity int
@@ -106,11 +116,31 @@ func (f *Future) Wait(ctx context.Context) (Result, error) {
 	}
 }
 
-// Stats is a snapshot of the pool's aggregate counters.
+// ShardStats is one shard's live counters: the instantaneous queue depth
+// (documents waiting in the bounded queue right now) next to the shard's
+// lifetime totals.  Queue depth against capacity is the backpressure
+// signal an operator watches — a shard pinned at capacity is the one
+// throttling producers.
+type ShardStats struct {
+	Shard      int   // shard index
+	QueueDepth int   // documents queued at snapshot time
+	QueueCap   int   // the bounded queue's capacity
+	Served     int64 // documents this shard completed, successfully or not
+	Failed     int64 // documents whose Result carries an error
+	Events     int64 // events consumed by this shard's successful passes
+}
+
+// Stats is a snapshot of the pool's aggregate counters, its per-shard
+// breakdown, and the per-document latency histogram.
 type Stats struct {
-	Served int64 // documents completed, successfully or not
-	Failed int64 // documents whose Result carries an error
-	Events int64 // events consumed by successful passes
+	Served   int64 // documents completed, successfully or not
+	Failed   int64 // documents whose Result carries an error
+	Canceled int64 // subset of Failed: context cancellation or deadline
+	Rejected int64 // TrySubmit attempts refused with ErrQueueFull
+	Events   int64 // events consumed by successful passes
+
+	Shards  []ShardStats // one entry per shard, in shard order
+	Latency LatencyStats // submit-to-result latency, queue wait included
 }
 
 // Option configures a Pool.
@@ -151,11 +181,20 @@ func WithOnResult(fn func(Result)) Option {
 
 // job is one queued document.
 type job struct {
-	id  string
-	ctx context.Context
-	rd  io.Reader          // tokenized on the shard's reusable tokenizer...
-	src engine.EventSource // ...or already an event source (exactly one set)
-	fut *Future
+	id    string
+	ctx   context.Context
+	rd    io.Reader          // tokenized on the shard's reusable tokenizer...
+	src   engine.EventSource // ...or already an event source (exactly one set)
+	fut   *Future
+	start time.Time // submission time, for the latency histogram
+}
+
+// shardCounters is one shard's lifetime totals, owned by the shard worker
+// (written there, read by Stats).
+type shardCounters struct {
+	served atomic.Int64
+	failed atomic.Int64
+	events atomic.Int64
 }
 
 // Pool serves many documents concurrently against one engine's registered
@@ -175,9 +214,14 @@ type Pool struct {
 	closed bool         // guarded by mu
 	wg     sync.WaitGroup
 
-	served atomic.Int64
-	failed atomic.Int64
-	events atomic.Int64
+	served   atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+	rejected atomic.Int64
+	events   atomic.Int64
+
+	perShard []shardCounters
+	hist     histogram
 }
 
 // NewPool starts the shard workers for the engine's registered query set.
@@ -200,6 +244,7 @@ func NewPool(eng *engine.Engine, opts ...Option) (*Pool, error) {
 		o(p)
 	}
 	p.shards = make([]chan job, p.numShards)
+	p.perShard = make([]shardCounters, p.numShards)
 	for i := range p.shards {
 		p.shards[i] = make(chan job, p.depth)
 		p.wg.Add(1)
@@ -232,14 +277,37 @@ func (p *Pool) Engine() *engine.Engine { return p.eng }
 // Shards returns the number of shards the pool was built with.
 func (p *Pool) Shards() int { return p.numShards }
 
-// Stats snapshots the aggregate counters.  It may be called while the pool
-// is serving.
+// QueueCap returns the bounded queue depth each shard was built with.
+func (p *Pool) QueueCap() int { return p.depth }
+
+// Affinity returns the document-to-shard routing the pool was built with.
+func (p *Pool) Affinity() Affinity { return p.affinity }
+
+// Stats snapshots the aggregate counters, the per-shard breakdown, and the
+// latency histogram.  It may be called while the pool is serving; the
+// counters are loaded independently, so a snapshot taken mid-flight is
+// consistent only to within in-progress documents.
 func (p *Pool) Stats() Stats {
-	return Stats{
-		Served: p.served.Load(),
-		Failed: p.failed.Load(),
-		Events: p.events.Load(),
+	st := Stats{
+		Served:   p.served.Load(),
+		Failed:   p.failed.Load(),
+		Canceled: p.canceled.Load(),
+		Rejected: p.rejected.Load(),
+		Events:   p.events.Load(),
+		Shards:   make([]ShardStats, len(p.shards)),
+		Latency:  p.hist.snapshot(),
 	}
+	for i := range p.shards {
+		st.Shards[i] = ShardStats{
+			Shard:      i,
+			QueueDepth: len(p.shards[i]),
+			QueueCap:   p.depth,
+			Served:     p.perShard[i].served.Load(),
+			Failed:     p.perShard[i].failed.Load(),
+			Events:     p.perShard[i].events.Load(),
+		}
+	}
+	return st
 }
 
 // Submit queues a document read from r — tokenized on the target shard's
@@ -247,7 +315,16 @@ func (p *Pool) Stats() Stats {
 // the shard's queue is full (backpressure) unless ctx is cancelled first,
 // and fails with ErrClosed once Close has begun.
 func (p *Pool) Submit(ctx context.Context, id string, r io.Reader) (*Future, error) {
-	return p.enqueue(job{id: id, ctx: ctx, rd: r})
+	return p.enqueue(job{id: id, ctx: ctx, rd: r}, true)
+}
+
+// TrySubmit is Submit without the blocking backpressure: when the target
+// shard's queue is full it fails immediately with ErrQueueFull instead of
+// waiting for a slot.  A network front-end uses it to shed load at the
+// edge — ErrQueueFull maps to 429 Too Many Requests, ErrClosed to 503
+// Service Unavailable — rather than accumulate blocked handlers.
+func (p *Pool) TrySubmit(ctx context.Context, id string, r io.Reader) (*Future, error) {
+	return p.enqueue(job{id: id, ctx: ctx, rd: r}, false)
 }
 
 // SubmitSource queues a document already available as an event source.
@@ -257,12 +334,18 @@ func (p *Pool) SubmitSource(ctx context.Context, id string, src engine.EventSour
 	if src == nil {
 		return nil, errors.New("serve: nil event source")
 	}
-	return p.enqueue(job{id: id, ctx: ctx, src: src})
+	return p.enqueue(job{id: id, ctx: ctx, src: src}, true)
 }
 
 // SubmitEvents queues an in-memory event slice as a document.
 func (p *Pool) SubmitEvents(ctx context.Context, id string, events []docstream.Event) (*Future, error) {
-	return p.enqueue(job{id: id, ctx: ctx, src: engine.Events(events)})
+	return p.enqueue(job{id: id, ctx: ctx, src: engine.Events(events)}, true)
+}
+
+// TrySubmitEvents is SubmitEvents with TrySubmit's fail-fast semantics:
+// ErrQueueFull instead of blocking when the target shard's queue is full.
+func (p *Pool) TrySubmitEvents(ctx context.Context, id string, events []docstream.Event) (*Future, error) {
+	return p.enqueue(job{id: id, ctx: ctx, src: engine.Events(events)}, false)
 }
 
 func (p *Pool) route(id string) int {
@@ -274,11 +357,12 @@ func (p *Pool) route(id string) int {
 	return int(h.Sum64() % uint64(len(p.shards)))
 }
 
-func (p *Pool) enqueue(j job) (*Future, error) {
+func (p *Pool) enqueue(j job, wait bool) (*Future, error) {
 	j.fut = &Future{done: make(chan struct{})}
 	if j.ctx == nil {
 		j.ctx = context.Background()
 	}
+	j.start = time.Now()
 	// The read lock is held across the (possibly blocking) send so Close
 	// cannot close the shard channel out from under it; Close's write lock
 	// waits for in-flight submissions, and the workers keep draining, so a
@@ -288,8 +372,18 @@ func (p *Pool) enqueue(j job) (*Future, error) {
 	if p.closed {
 		return nil, ErrClosed
 	}
+	shard := p.shards[p.route(j.id)]
+	if !wait {
+		select {
+		case shard <- j:
+			return j.fut, nil
+		default:
+			p.rejected.Add(1)
+			return nil, ErrQueueFull
+		}
+	}
 	select {
-	case p.shards[p.route(j.id)] <- j:
+	case shard <- j:
 		return j.fut, nil
 	case <-j.ctx.Done():
 		return nil, j.ctx.Err()
@@ -365,6 +459,7 @@ func (p *Pool) worker(shard int) {
 	} else {
 		tok = docstream.NewTokenizer(nil)
 	}
+	counters := &p.perShard[shard]
 	for j := range p.shards[shard] {
 		res := Result{ID: j.id, Shard: shard}
 		if err := j.ctx.Err(); err != nil {
@@ -381,11 +476,18 @@ func (p *Pool) worker(shard int) {
 			res.Engine, res.Err = r, err
 		}
 		p.served.Add(1)
+		counters.served.Add(1)
 		if res.Err != nil {
 			p.failed.Add(1)
+			counters.failed.Add(1)
+			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+				p.canceled.Add(1)
+			}
 		} else {
 			p.events.Add(int64(res.Engine.Events))
+			counters.events.Add(int64(res.Engine.Events))
 		}
+		p.hist.observe(time.Since(j.start))
 		if p.onResult != nil {
 			p.onResult(res)
 		}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzHTTPDocument throws arbitrary bytes at POST /v1/documents and checks
+// the front-end's contract holds for every input: no panic, a status from
+// the documented set, and a body that parses as JSON — a verdict set on
+// 200, an error envelope otherwise.
+func FuzzHTTPDocument(f *testing.F) {
+	bundle := writeTestBundle(f)
+	srv, err := New(Config{BundlePath: bundle, Shards: 2, QueueDepth: 8, MaxBodyBytes: 1 << 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+	f.Cleanup(func() { srv.Close() })
+
+	f.Add("<a><b>text</b></a>", "doc-1")
+	f.Add("<a unterminated", "")
+	f.Add("", "empty")
+	f.Add("</>", "weird")
+	f.Add("<a>"+strings.Repeat("deep ", 100)+"</a>", "wide")
+	f.Add("\x00\xff<\x80>", "binary")
+
+	f.Fuzz(func(t *testing.T, doc, id string) {
+		req := httptest.NewRequest("POST", "/v1/documents", strings.NewReader(doc))
+		if id != "" {
+			q := req.URL.Query()
+			q.Set("id", id)
+			req.URL.RawQuery = q.Encode()
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK:
+			var res DocumentResult
+			if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+				t.Fatalf("200 with unparseable body %q: %v", rec.Body.String(), err)
+			}
+			if len(res.Verdicts) != 3 {
+				t.Fatalf("200 with %d verdicts, want 3", len(res.Verdicts))
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("status %d with non-envelope body %q", rec.Code, rec.Body.String())
+			}
+		default:
+			t.Fatalf("undocumented status %d for doc %q", rec.Code, doc)
+		}
+	})
+}
