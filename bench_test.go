@@ -1,5 +1,5 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment (E1..E26, excluding E18 which was not implemented — see
+// per experiment (E1..E27, excluding E18 which was not implemented — see
 // docs/EXPERIMENTS.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
@@ -176,6 +176,12 @@ func BenchmarkE26_HTTPServing(b *testing.B) {
 	}
 }
 
+func BenchmarkE27_AdapterThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E27AdapterThroughput(100000))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -292,6 +298,15 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e26.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E26: HTTP or pool verdicts diverge from serial evaluation on row %v", row)
+		}
+	}
+	e27 := experiments.E27AdapterThroughput(20000)
+	if len(e27.Rows) != 4 {
+		t.Errorf("E27 produced %d rows, want native + one per adapter format", len(e27.Rows))
+	}
+	for _, row := range e27.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E27: adapter stream diverges from its render+retokenize image on row %v", row)
 		}
 	}
 }

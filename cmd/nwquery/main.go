@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	nwquery [-file doc.xml] [-labels l1,l2,...] [-order l1,l2,...] [-path l1,l2,...]
-//	nwquery [-file doc.xml] -queryset queries.nwq
+//	nwquery [-file doc.xml] [-format xml|json|trace] [-labels l1,l2,...]
+//	        [-order l1,l2,...] [-path l1,l2,...] [-dsl QUERIES]
+//	nwquery [-file doc.xml] [-format ...] -queryset queries.nwq
 //
 // The query automata need the document's tag/text alphabet up front.  Pass
 // it with -labels to stay fully streaming; without -labels the document is
@@ -15,6 +16,13 @@
 // written by `nwtool compile` is loaded (mmap'd read-only where available)
 // and its alphabet and query set are used as-is, which both stays fully
 // streaming and makes cold starts independent of query complexity.
+//
+// -format routes the input through one of the internal/adapter event
+// sources — real XML via encoding/xml, JSON, or an enter/exit program trace
+// — instead of the native XML-like tokenizer; everything downstream (the
+// engine pass, the queries, the verdicts) is unchanged.  -dsl adds textual
+// queries (see internal/query/dsl), semicolon-separated, to the compiled
+// set; their labels join the alphabet like -order/-path labels do.
 package main
 
 import (
@@ -25,18 +33,22 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/adapter"
 	"repro/internal/alphabet"
 	"repro/internal/docstream"
 	"repro/internal/engine"
 	"repro/internal/query"
+	"repro/internal/query/dsl"
 )
 
 func main() {
 	file := flag.String("file", "", "document file (default: standard input)")
+	format := flag.String("format", "", "input format: xml, json, or trace (default: the native XML-like token syntax)")
 	labelsFlag := flag.String("labels", "", "comma-separated document alphabet: labels are interned to compiled symbol IDs at the tokenizer and the engine streams the input directly (labels not listed map to the out-of-alphabet ID and are uniformly rejected); without -labels the document is buffered once to discover the alphabet")
 	order := flag.String("order", "", "comma-separated labels for a linear-order query")
 	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
-	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`: boot from it instead of compiling (-labels/-order/-path must not be given; the bundle fixes the alphabet and the queries)")
+	dslFlag := flag.String("dsl", "", "semicolon-separated DSL queries (e.g. 'within book: title before author'); their labels join the alphabet")
+	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`: boot from it instead of compiling (-labels/-order/-path/-dsl must not be given; the bundle fixes the alphabet and the queries)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -56,8 +68,8 @@ func main() {
 		// Bundle boot: the serialized tables are loaded (zero-copy over the
 		// mapped file) and registered as-is; no automaton is compiled and the
 		// pass is always fully streaming.
-		if *labelsFlag != "" || *order != "" || *path != "" {
-			fatal(fmt.Errorf("-queryset carries its own alphabet and queries; drop -labels/-order/-path"))
+		if *labelsFlag != "" || *order != "" || *path != "" || *dslFlag != "" {
+			fatal(fmt.Errorf("-queryset carries its own alphabet and queries; drop -labels/-order/-path/-dsl"))
 		}
 		bundle, err := query.OpenBundle(*queryset)
 		if err != nil {
@@ -69,16 +81,21 @@ func main() {
 		}
 		alpha = bundle.Alphabet()
 	} else {
+		exprs, err := dsl.ParseList(*dslFlag)
+		if err != nil {
+			fatal(err)
+		}
 		labels := query.SplitLabels(*labelsFlag)
 		labels = append(labels, query.SplitLabels(*order)...)
 		labels = append(labels, query.SplitLabels(*path)...)
+		labels = append(labels, dsl.Labels(exprs...)...)
 
 		// Without -labels the alphabet must be discovered first, which costs
-		// one buffered tokenization; with -labels the engine consumes the
-		// reader directly and nothing proportional to the document is ever
-		// stored.
+		// one buffered pass over the input; with -labels the engine consumes
+		// the reader directly and nothing proportional to the document is
+		// ever stored.
 		if *labelsFlag == "" {
-			events, err := docstream.Tokenize(readAll(in))
+			events, err := readEvents(*format, in)
 			if err != nil {
 				fatal(err)
 			}
@@ -93,6 +110,12 @@ func main() {
 		}
 		alpha = alphabet.New(labels...)
 		names, queries := query.StandardSet(alpha, query.SplitLabels(*order), query.SplitLabels(*path))
+		dslNames, dslQueries, err := dsl.Queries(alpha, exprs)
+		if err != nil {
+			fatal(err)
+		}
+		names = append(names, dslNames...)
+		queries = append(queries, dslQueries...)
 		for i, q := range queries {
 			if _, err := eng.RegisterQuery(names[i], q); err != nil {
 				fatal(err)
@@ -111,10 +134,17 @@ func main() {
 		// to its dead state.  That is uniform and correct, but a false
 		// verdict caused by an incomplete -labels list looks exactly like a
 		// query rejection, so track the out-of-alphabet labels — the
-		// tokenizer has already interned each event, making the check one
+		// event source has already interned each event, making the check one
 		// integer compare — and summarize them once at exit.
+		var src engine.EventSource = docstream.NewInterningTokenizer(in, alpha)
+		if *format != "" {
+			src, err = adapter.New(*format, in, alpha)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		unknown = &unknownLabelSource{
-			src:    docstream.NewInterningTokenizer(in, alpha),
+			src:    src,
 			alpha:  alpha,
 			counts: map[string]int{},
 		}
@@ -195,4 +225,28 @@ func readAll(r io.Reader) string {
 		fatal(err)
 	}
 	return string(data)
+}
+
+// readEvents buffers the whole input as uninterned events — through the
+// named adapter, or the native tokenizer when format is empty — for the
+// alphabet-discovery path.
+func readEvents(format string, in io.Reader) ([]docstream.Event, error) {
+	if format == "" {
+		return docstream.Tokenize(readAll(in))
+	}
+	src, err := adapter.New(format, in, nil)
+	if err != nil {
+		return nil, err
+	}
+	var events []docstream.Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
 }

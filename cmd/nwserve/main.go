@@ -8,6 +8,7 @@
 // Usage:
 //
 //	nwserve [-labels l1,l2,...] [-order l1,l2,...] [-path l1,l2,...]
+//	        [-dsl QUERIES] [-format xml|json|trace]
 //	        [-queryset queries.nwq]
 //	        [-shards n] [-queue n] [-affinity hash|none]
 //	        [-dir directory] [file ...]
@@ -17,8 +18,11 @@
 // separated by lines containing only "---".  Each document is hashed by its
 // name (file path, or stdin ordinal) to a shard — use -affinity none to
 // round-robin instead — and evaluated against the registered queries in one
-// pass: well-formedness always, plus the -order and -path queries when
-// given.
+// pass: well-formedness always, plus the -order and -path queries and the
+// semicolon-separated -dsl queries (see internal/query/dsl) when given.
+// With -format the documents are real XML, JSON, or enter/exit program
+// traces, decoded on the shard workers through the matching
+// internal/adapter event source instead of the native tokenizer.
 //
 // The query automata need the document alphabet up front.  Pass it with
 // -labels (labels are interned to compiled symbol IDs at the tokenizer;
@@ -36,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -45,10 +50,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adapter"
 	"repro/internal/alphabet"
 	"repro/internal/docstream"
 	"repro/internal/engine"
 	"repro/internal/query"
+	"repro/internal/query/dsl"
 	"repro/internal/serve"
 )
 
@@ -56,7 +63,9 @@ func main() {
 	labelsFlag := flag.String("labels", "", "comma-separated document alphabet; without it, documents are tokenized once up front to discover the labels")
 	order := flag.String("order", "", "comma-separated labels for a linear-order query")
 	path := flag.String("path", "", "comma-separated labels for a hierarchical path query")
-	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`: boot from it instead of compiling (-labels/-order/-path must not be given)")
+	dslFlag := flag.String("dsl", "", "semicolon-separated DSL queries (e.g. 'within book: title before author'); their labels join the alphabet")
+	format := flag.String("format", "", "document format: xml, json, or trace (default: the native XML-like token syntax)")
+	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`: boot from it instead of compiling (-labels/-order/-path/-dsl must not be given)")
 	dir := flag.String("dir", "", "serve every regular file under this directory")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of pool shards (worker sessions)")
 	queue := flag.Int("queue", 64, "bounded queue depth per shard (backpressure)")
@@ -80,8 +89,8 @@ func main() {
 	if *queryset != "" {
 		// Bundle boot: no compilation; the bundle's tables (zero-copy over
 		// the mapped file) and alphabet serve as-is.
-		if *labelsFlag != "" || *order != "" || *path != "" {
-			fatal(fmt.Errorf("-queryset carries its own alphabet and queries; drop -labels/-order/-path"))
+		if *labelsFlag != "" || *order != "" || *path != "" || *dslFlag != "" {
+			fatal(fmt.Errorf("-queryset carries its own alphabet and queries; drop -labels/-order/-path/-dsl"))
 		}
 		bundle, err := query.OpenBundle(*queryset)
 		if err != nil {
@@ -92,17 +101,22 @@ func main() {
 			fatal(err)
 		}
 	} else {
+		exprs, err := dsl.ParseList(*dslFlag)
+		if err != nil {
+			fatal(err)
+		}
 		labels := query.SplitLabels(*labelsFlag)
 		labels = append(labels, query.SplitLabels(*order)...)
 		labels = append(labels, query.SplitLabels(*path)...)
+		labels = append(labels, dsl.Labels(exprs...)...)
 		if *labelsFlag == "" {
-			// Discovery pass: tokenize every document once, collecting labels.
+			// Discovery pass: decode every document once, collecting labels.
 			seen := map[string]bool{}
 			for _, l := range labels {
 				seen[l] = true
 			}
 			for _, d := range docs {
-				events, err := docstream.Tokenize(string(d.body))
+				events, err := decodeEvents(*format, d.body)
 				if err != nil {
 					fatal(fmt.Errorf("%s: %w", d.name, err))
 				}
@@ -116,6 +130,12 @@ func main() {
 		}
 		alpha := alphabet.New(labels...)
 		names, queries := query.StandardSet(alpha, query.SplitLabels(*order), query.SplitLabels(*path))
+		dslNames, dslQueries, err := dsl.Queries(alpha, exprs)
+		if err != nil {
+			fatal(err)
+		}
+		names = append(names, dslNames...)
+		queries = append(queries, dslQueries...)
 		for i, q := range queries {
 			if _, err := eng.RegisterQuery(names[i], q); err != nil {
 				fatal(err)
@@ -151,6 +171,18 @@ func main() {
 
 	start := time.Now()
 	for _, d := range docs {
+		if *format != "" {
+			// Adapter formats: the shard worker drives the adapter (one per
+			// document) interned against the serving alphabet.
+			src, err := adapter.New(*format, bytes.NewReader(d.body), pool.Engine().Alphabet())
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := pool.SubmitSource(context.Background(), d.name, src); err != nil {
+				fatal(err)
+			}
+			continue
+		}
 		if _, err := pool.Submit(context.Background(), d.name, bytes.NewReader(d.body)); err != nil {
 			fatal(err)
 		}
@@ -243,6 +275,30 @@ func collectDocuments(dir string, files []string) ([]document, error) {
 	}
 	emit()
 	return docs, nil
+}
+
+// decodeEvents buffers one document as uninterned events — through the
+// named adapter, or the native tokenizer when format is empty — for the
+// alphabet-discovery pass.
+func decodeEvents(format string, body []byte) ([]docstream.Event, error) {
+	if format == "" {
+		return docstream.Tokenize(string(body))
+	}
+	src, err := adapter.New(format, bytes.NewReader(body), nil)
+	if err != nil {
+		return nil, err
+	}
+	var events []docstream.Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
 }
 
 func fatal(err error) {

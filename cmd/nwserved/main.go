@@ -12,12 +12,17 @@
 // Endpoints:
 //
 //	POST /v1/documents[?id=ID]  one document per request (body = document
-//	                            text in the XML-like syntax); the response
-//	                            is the per-query verdict set as JSON.  A
-//	                            full shard queue answers 429, a shutting-
-//	                            down server 503, both with Retry-After.
-//	POST /v1/batch              NDJSON stream, one {"id","doc"} per line;
-//	                            one verdict line per input line, in input
+//	                            text in the XML-like syntax, or real XML,
+//	                            JSON, or an enter/exit trace when
+//	                            ?format=xml|json|trace routes the body
+//	                            through internal/adapter); the response is
+//	                            the per-query verdict set as JSON.  A full
+//	                            shard queue answers 429, a shutting-down
+//	                            server 503, both with Retry-After.
+//	POST /v1/batch              NDJSON stream, one {"id","doc"} per line
+//	                            (an optional "format" field decodes that
+//	                            line's doc through the named adapter); one
+//	                            verdict line per input line, in input
 //	                            order, under the pool's backpressure.
 //	POST /v1/reload             reload the bundle file and swap pools with
 //	                            zero downtime (SIGHUP does the same).

@@ -10,10 +10,12 @@
 //	nwtool tree  'a(b(),c(d()))'    encode an ordered tree as a tree word
 //	nwtool query '<doc> ... </doc>' LABEL...
 //	                                run the //LABEL1//LABEL2... path query
-//	nwtool compile -labels l1,l2 [-order ...] [-path ...] -o FILE
+//	nwtool compile -labels l1,l2 [-order ...] [-path ...] [-dsl QUERIES] -o FILE
 //	                                compile the query set once and write a
 //	                                serialized bundle; nwquery and nwserve
-//	                                boot from it with -queryset FILE
+//	                                boot from it with -queryset FILE; -dsl
+//	                                adds textual queries (see
+//	                                internal/query/dsl) to the set
 //	nwtool bundle [-json] FILE      describe a serialized bundle (with -json,
 //	                                the machine-readable schema /v1/status of
 //	                                nwserved shares)
@@ -43,6 +45,7 @@ import (
 	"repro/internal/docstream"
 	"repro/internal/nestedword"
 	"repro/internal/query"
+	"repro/internal/query/dsl"
 	"repro/internal/tree"
 )
 
@@ -89,24 +92,33 @@ func main() {
 	}
 }
 
-// compileBundle compiles the standard CLI query set once and writes it as a
-// serialized bundle that nwquery/nwserve boot from with -queryset.
+// compileBundle compiles the standard CLI query set — plus any DSL-authored
+// queries — once and writes it as a serialized bundle that nwquery/nwserve
+// boot from with -queryset.
 func compileBundle(args []string) {
 	fs := flag.NewFlagSet("nwtool compile", flag.ExitOnError)
 	labelsFlag := fs.String("labels", "", "comma-separated document alphabet (labels outside it map to the out-of-alphabet ID at serving time)")
 	order := fs.String("order", "", "comma-separated labels for a linear-order query")
 	path := fs.String("path", "", "comma-separated labels for a hierarchical path query")
+	dslFlag := fs.String("dsl", "", "semicolon-separated DSL queries (e.g. 'within book: title before author; no write after close'); their labels join the alphabet")
 	out := fs.String("o", "queries.nwq", "output bundle file")
 	fs.Parse(args)
 
+	exprs, err := dsl.ParseList(*dslFlag)
+	exitOn(err)
 	labels := query.SplitLabels(*labelsFlag)
 	labels = append(labels, query.SplitLabels(*order)...)
 	labels = append(labels, query.SplitLabels(*path)...)
+	labels = append(labels, dsl.Labels(exprs...)...)
 	if len(labels) == 0 {
-		exitOn(fmt.Errorf("compile: no alphabet — give -labels (and/or -order, -path)"))
+		exitOn(fmt.Errorf("compile: no alphabet — give -labels (and/or -order, -path, -dsl)"))
 	}
 	alpha := alphabet.New(labels...)
 	names, queries := query.StandardSet(alpha, query.SplitLabels(*order), query.SplitLabels(*path))
+	dslNames, dslQueries, err := dsl.Queries(alpha, exprs)
+	exitOn(err)
+	names = append(names, dslNames...)
+	queries = append(queries, dslQueries...)
 	bundle := query.NewBundle(alpha)
 	for i, q := range queries {
 		exitOn(bundle.Add(names[i], q))
@@ -188,6 +200,6 @@ func exitOn(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query|compile|bundle|vet ARG [LABEL...]")
-	fmt.Fprintln(os.Stderr, "       nwtool compile -labels l1,l2 [-order ...] [-path ...] -o FILE")
+	fmt.Fprintln(os.Stderr, "       nwtool compile -labels l1,l2 [-order ...] [-path ...] [-dsl QUERIES] -o FILE")
 	os.Exit(2)
 }

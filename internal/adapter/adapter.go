@@ -1,0 +1,134 @@
+// Package adapter turns real-world hierarchical inputs — XML documents,
+// JSON values, program call/return traces — into the docstream.Event stream
+// the rest of the system already speaks.  This is the paper's founding
+// observation made operational: the SAX view of an XML document, the
+// open/close structure of JSON objects and arrays, and the enter/exit
+// structure of an execution trace are all the *same thing*, a nested word,
+// so one query stack serves all three once each input is adapted to the
+// common event stream.
+//
+// Every adapter satisfies engine.EventSource structurally (Next() (Event,
+// error) ending in io.EOF), interns labels against a query alphabet through
+// the same docstream.NewEvent mapping the tokenizer uses — so out-of-alphabet
+// labels get the identical dedicated symbol ID no matter which source
+// produced them — and sanitizes labels into the tokenizer's token syntax, so
+// that rendering the adapted stream as an XML-like document and re-tokenizing
+// it reproduces the stream event for event.  That round-trip is the
+// differential contract pinned by this package's tests: the adapters extend
+// the oracle chain to real inputs instead of forking it.
+package adapter
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+)
+
+// Source is the event-stream interface every adapter implements: one event
+// per call, io.EOF at the clean end of the input, any other error sticky.
+// It is structurally identical to engine.EventSource, so adapters plug into
+// engine.RunEvents-style consumers and serve.Pool.SubmitSource without this
+// package importing the engine.
+type Source interface {
+	Next() (docstream.Event, error)
+}
+
+// Formats lists the supported adapter format names accepted by New, in
+// display order.
+func Formats() []string { return []string{"xml", "json", "trace"} }
+
+// New returns an adapter for the named format reading from r, interning
+// labels against alpha (pass nil for uninterned events).  The names are the
+// ones the CLI -format flags and the HTTP ?format= parameter accept.
+func New(format string, r io.Reader, alpha *alphabet.Alphabet) (Source, error) {
+	switch format {
+	case "xml":
+		return NewXML(r, alpha), nil
+	case "json":
+		return NewJSON(r, alpha), nil
+	case "trace":
+		return NewTrace(r, alpha), nil
+	}
+	return nil, fmt.Errorf("adapter: unknown format %q (want one of %s)", format, strings.Join(Formats(), ", "))
+}
+
+// Sanitize maps an arbitrary label into the tokenizer's token syntax: every
+// whitespace rune (the tokenizer's token separator) and every '<' or '>'
+// (its tag delimiters) becomes '_', a leading '/' (which would turn a
+// rendered opening tag into a closing one) becomes '_', invalid UTF-8 bytes
+// become U+FFFD (matching the tokenizer's own normalization), and the empty
+// label becomes "_".  Labels already in token syntax — the overwhelmingly
+// common case for element names, object keys, and procedure names — are
+// returned unchanged, without allocating.  The mapping is what makes the
+// differential contract hold: Render(adapted stream) re-tokenizes to the
+// same events.
+func Sanitize(label string) string {
+	clean := utf8.ValidString(label)
+	for _, c := range label {
+		if !clean {
+			break
+		}
+		if c == '<' || c == '>' || unicode.IsSpace(c) {
+			clean = false
+		}
+	}
+	if clean && label != "" && label[0] != '/' {
+		return label
+	}
+	if label == "" {
+		return "_"
+	}
+	out := make([]rune, 0, len(label))
+	for _, c := range label {
+		if c == '<' || c == '>' || unicode.IsSpace(c) {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	if out[0] == '/' {
+		out[0] = '_'
+	}
+	return string(out)
+}
+
+// source is the state shared by every adapter: the interning alphabet, the
+// queue of decoded-but-undelivered events, and the sticky error.  Adapter
+// Next methods only pop the queue (allocation-free); all decoding and
+// allocation happens in each adapter's refill step.
+type source struct {
+	alpha *alphabet.Alphabet
+	q     []docstream.Event
+	qi    int
+	err   error
+}
+
+// push queues one event, sanitizing and interning the label through the
+// shared docstream.NewEvent mapping.
+func (s *source) push(kind nestedword.Kind, label string) {
+	s.q = append(s.q, docstream.NewEvent(kind, Sanitize(label), s.alpha))
+}
+
+// reset recycles the queue's backing array once it has been fully delivered,
+// so steady-state refills append into already-allocated capacity.
+func (s *source) reset() {
+	if s.qi >= len(s.q) {
+		s.q = s.q[:0]
+		s.qi = 0
+	}
+}
+
+// pop delivers the next queued event; ok is false when the queue is empty.
+func (s *source) pop() (docstream.Event, bool) {
+	if s.qi < len(s.q) {
+		e := s.q[s.qi]
+		s.qi++
+		return e, true
+	}
+	return docstream.Event{}, false
+}

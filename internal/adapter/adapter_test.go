@@ -1,0 +1,287 @@
+package adapter
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+)
+
+// decodeAll drains a source into its event slice, failing the test on any
+// error other than the clean io.EOF.
+func decodeAll(t *testing.T, src Source) []docstream.Event {
+	t.Helper()
+	var events []docstream.Event
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return events
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		events = append(events, e)
+	}
+}
+
+// ev is the kind/label shorthand the golden tables compare against.
+type ev struct {
+	kind  nestedword.Kind
+	label string
+}
+
+func checkEvents(t *testing.T, got []docstream.Event, want []ev) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d\ngot: %v", len(got), len(want), got)
+	}
+	for i, e := range got {
+		if e.Kind != want[i].kind || e.Label != want[i].label {
+			t.Errorf("event %d: got %v %q, want %v %q", i, e.Kind, e.Label, want[i].kind, want[i].label)
+		}
+	}
+}
+
+func TestNew(t *testing.T) {
+	for _, f := range Formats() {
+		if _, err := New(f, strings.NewReader(""), nil); err != nil {
+			t.Errorf("New(%q): %v", f, err)
+		}
+	}
+	if _, err := New("yaml", strings.NewReader(""), nil); err == nil {
+		t.Error("New(yaml): want error")
+	}
+}
+
+func TestXMLGolden(t *testing.T) {
+	const doc = `<?xml version="1.0"?><!-- c --><library><book id="1" lang="en">Nested &amp; Words<ns:x/></book></library>`
+	got := decodeAll(t, NewXML(strings.NewReader(doc), nil))
+	checkEvents(t, got, []ev{
+		{nestedword.Call, "library"},
+		{nestedword.Call, "book"},
+		{nestedword.Internal, "Nested"},
+		{nestedword.Internal, "&"},
+		{nestedword.Internal, "Words"},
+		{nestedword.Call, "x"},
+		{nestedword.Return, "x"},
+		{nestedword.Return, "book"},
+		{nestedword.Return, "library"},
+	})
+}
+
+func TestXMLAttributes(t *testing.T) {
+	const doc = `<book id="1" lang="en or so"/>`
+	got := decodeAll(t, NewXMLOptions(strings.NewReader(doc), nil, XMLOptions{Attributes: true}))
+	checkEvents(t, got, []ev{
+		{nestedword.Call, "book"},
+		{nestedword.Internal, "id=1"},
+		{nestedword.Internal, "lang=en_or_so"},
+		{nestedword.Return, "book"},
+	})
+}
+
+func TestXMLError(t *testing.T) {
+	a := NewXML(strings.NewReader("<a><b></a>"), nil)
+	var err error
+	for err == nil {
+		_, err = a.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("mismatched tags: want a decoder error, got clean EOF")
+	}
+	// The error is sticky.
+	if _, err2 := a.Next(); err2 != err {
+		t.Fatalf("error not sticky: %v then %v", err, err2)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	const doc = `{"lib": [{"t": "nested words", "n": 2007, "ok": true, "x": null}, [1.5]]} "tail"`
+	got := decodeAll(t, NewJSON(strings.NewReader(doc), nil))
+	checkEvents(t, got, []ev{
+		{nestedword.Call, "object"},
+		{nestedword.Internal, "lib"},
+		{nestedword.Call, "array"},
+		{nestedword.Call, "object"},
+		{nestedword.Internal, "t"},
+		{nestedword.Internal, "nested_words"},
+		{nestedword.Internal, "n"},
+		{nestedword.Internal, "2007"},
+		{nestedword.Internal, "ok"},
+		{nestedword.Internal, "true"},
+		{nestedword.Internal, "x"},
+		{nestedword.Internal, "null"},
+		{nestedword.Return, "object"},
+		{nestedword.Call, "array"},
+		{nestedword.Internal, "1.5"},
+		{nestedword.Return, "array"},
+		{nestedword.Return, "array"},
+		{nestedword.Return, "object"},
+		{nestedword.Internal, "tail"}, // a second top-level value
+	})
+}
+
+func TestJSONError(t *testing.T) {
+	a := NewJSON(strings.NewReader(`{"a": [1, }`), nil)
+	var err error
+	for err == nil {
+		_, err = a.Next()
+	}
+	if err == io.EOF {
+		t.Fatal("malformed JSON: want a decoder error, got clean EOF")
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	const doc = "# comment\nenter main\nenter open 0x11\nread 4096\n\nexit\nexit wrong\nexit\ncheck ok\n"
+	got := decodeAll(t, NewTrace(strings.NewReader(doc), nil))
+	checkEvents(t, got, []ev{
+		{nestedword.Call, "main"},
+		{nestedword.Call, "open"},
+		{nestedword.Internal, "read"},
+		{nestedword.Internal, "4096"},
+		{nestedword.Return, "open"},  // bare exit: innermost open call
+		{nestedword.Return, "wrong"}, // explicit label wins, still pops
+		{nestedword.Return, "_"},     // nothing open: unmatched return
+		{nestedword.Internal, "check"},
+		{nestedword.Internal, "ok"},
+	})
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"book":      "book",
+		"":          "_",
+		"a b":       "a_b",
+		"a\tb\nc":   "a_b_c",
+		"<a>":       "_a_",
+		"/close":    "_close",
+		"a/b":       "a/b",
+		"π∈Σ":       "π∈Σ",
+		"x<y":       "x_y",
+		" leading":  "_leading",
+		"trailing ": "trailing_",
+	}
+	for in, want := range cases {
+		if got := Sanitize(in); got != want {
+			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// The clean fast path must return the identical string without copying.
+	s := "already-clean"
+	if got := Sanitize(s); got != s {
+		t.Errorf("Sanitize(%q) = %q", s, got)
+	}
+}
+
+// fixturePaths lists the committed fixtures: one file per format, named by
+// extension (the go fuzz corpus under testdata/fuzz is not a fixture).
+func fixturePaths(t *testing.T) []string {
+	t.Helper()
+	var paths []string
+	for _, format := range Formats() {
+		matches, err := filepath.Glob("testdata/*." + format)
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("no .%s fixture: %v", format, err)
+		}
+		paths = append(paths, matches...)
+	}
+	return paths
+}
+
+// fixtureAlphabet is deliberately partial: it covers the structural labels
+// of every fixture but none of the text tokens, so each fixture exercises
+// both in-alphabet and out-of-alphabet interning.
+func fixtureAlphabet() *alphabet.Alphabet {
+	return alphabet.New("library", "book", "title", "author", "keywords",
+		"object", "array", "main", "open", "close")
+}
+
+// TestFixturesDifferential is the adapter half of the differential contract:
+// for every committed fixture, rendering the adapted stream as an XML-like
+// document and re-tokenizing it through the interning tokenizer reproduces
+// the stream exactly — kind, label, and interned symbol ID per event.  The
+// tokenizer chain is the repo's original oracle, so agreement here extends
+// that oracle to the real input formats.
+func TestFixturesDifferential(t *testing.T) {
+	paths := fixturePaths(t)
+	alpha := fixtureAlphabet()
+	for _, path := range paths {
+		format := strings.TrimPrefix(filepath.Ext(path), ".")
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			body, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := New(format, strings.NewReader(string(body)), alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := decodeAll(t, src)
+			if len(events) == 0 {
+				t.Fatal("fixture produced no events")
+			}
+
+			rendered := docstream.Render(docstream.ToNestedWord(events))
+			retok := docstream.NewInterningTokenizer(strings.NewReader(rendered), alpha)
+			inAlpha, outAlpha := 0, 0
+			for i, e := range events {
+				g, err := retok.Next()
+				if err != nil {
+					t.Fatalf("retokenize event %d: %v", i, err)
+				}
+				if g != e {
+					t.Fatalf("event %d: adapter %+v, retokenized %+v", i, e, g)
+				}
+				if e.OutOfAlphabet(alpha) {
+					outAlpha++
+				} else {
+					inAlpha++
+				}
+			}
+			if _, err := retok.Next(); err != io.EOF {
+				t.Fatalf("retokenized stream longer than adapter stream: %v", err)
+			}
+			// The partial alphabet must be exercised from both sides, or the
+			// symbol-ID comparison above proves nothing about interning.
+			if inAlpha == 0 || outAlpha == 0 {
+				t.Fatalf("fixture not differential: %d in-alphabet, %d out-of-alphabet events", inAlpha, outAlpha)
+			}
+		})
+	}
+}
+
+// TestUninternedDifferential runs the same round-trip with a nil alphabet:
+// adapters must leave Sym zero exactly like the plain tokenizer does.
+func TestUninternedDifferential(t *testing.T) {
+	for _, path := range fixturePaths(t) {
+		format := strings.TrimPrefix(filepath.Ext(path), ".")
+		body, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := New(format, strings.NewReader(string(body)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := decodeAll(t, src)
+		rendered := docstream.Render(docstream.ToNestedWord(events))
+		retok, err := docstream.Tokenize(rendered)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(retok) != len(events) {
+			t.Fatalf("%s: %d events, retokenized %d", path, len(events), len(retok))
+		}
+		for i := range events {
+			if events[i] != retok[i] {
+				t.Fatalf("%s event %d: adapter %+v, retokenized %+v", path, i, events[i], retok[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// The JSON adapter: objects and arrays nest exactly like elements, so a
+// JSON value is a nested word too — the second real workload the paper's
+// model covers without modification.
+package adapter
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+)
+
+// JSON adapts a stream of JSON values read from r into docstream events:
+// '{' / '}' become call/return events labeled "object", '[' / ']'
+// call/return events labeled "array", and every key and scalar value one
+// internal event carrying its (sanitized) text — numbers keep their literal
+// spelling, booleans become "true"/"false", null becomes "null".  Multiple
+// top-level values are allowed, matching encoding/json's token stream.
+type JSON struct {
+	source
+	dec   *json.Decoder
+	stack []byte // 'o' for object, 'a' for array
+	key   bool   // inside an object, whether the next string is a key
+}
+
+// objectLabel and arrayLabel are the call/return labels for the two JSON
+// container kinds.
+const (
+	objectLabel = "object"
+	arrayLabel  = "array"
+)
+
+// NewJSON returns a JSON adapter interning labels against alpha (nil for
+// uninterned events).
+func NewJSON(r io.Reader, alpha *alphabet.Alphabet) *JSON {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	return &JSON{source: source{alpha: alpha}, dec: dec}
+}
+
+// Next returns the next event, io.EOF at the end of the input.  Malformed
+// JSON surfaces as the decoder's error; the error is sticky.
+//
+//nwvet:hotpath
+func (a *JSON) Next() (docstream.Event, error) {
+	for {
+		if e, ok := a.pop(); ok {
+			return e, nil
+		}
+		if a.err != nil {
+			return docstream.Event{}, a.err
+		}
+		a.refill()
+	}
+}
+
+// refill decodes one JSON token into a queued event, or sets the sticky
+// error.  The decoder enforces delimiter matching, so the container stack
+// here only tracks key-vs-value position inside objects.
+func (a *JSON) refill() {
+	a.reset()
+	tok, err := a.dec.Token()
+	if err != nil {
+		a.err = err
+		return
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			a.push(nestedword.Call, objectLabel)
+			a.stack = append(a.stack, 'o')
+			a.key = true
+		case '[':
+			a.push(nestedword.Call, arrayLabel)
+			a.stack = append(a.stack, 'a')
+		case '}':
+			a.push(nestedword.Return, objectLabel)
+			a.stack = a.stack[:len(a.stack)-1]
+			a.afterValue()
+		case ']':
+			a.push(nestedword.Return, arrayLabel)
+			a.stack = a.stack[:len(a.stack)-1]
+			a.afterValue()
+		}
+	case string:
+		a.push(nestedword.Internal, t)
+		if a.inObject() && a.key {
+			a.key = false // the value for this key comes next
+		} else {
+			a.afterValue()
+		}
+	case json.Number:
+		a.push(nestedword.Internal, t.String())
+		a.afterValue()
+	case bool:
+		if t {
+			a.push(nestedword.Internal, "true")
+		} else {
+			a.push(nestedword.Internal, "false")
+		}
+		a.afterValue()
+	case nil:
+		a.push(nestedword.Internal, "null")
+		a.afterValue()
+	}
+}
+
+// inObject reports whether the innermost open container is an object.
+func (a *JSON) inObject() bool {
+	return len(a.stack) > 0 && a.stack[len(a.stack)-1] == 'o'
+}
+
+// afterValue restores key position after a complete value inside an object.
+func (a *JSON) afterValue() {
+	if a.inObject() {
+		a.key = true
+	}
+}

@@ -1,0 +1,103 @@
+// The trace adapter: program-execution logs with explicit enter/exit lines,
+// the paper's third motivating workload — pre/post-condition queries over
+// call/return traces.
+package adapter
+
+import (
+	"bufio"
+	"io"
+	"strings"
+
+	"repro/internal/alphabet"
+	"repro/internal/docstream"
+	"repro/internal/nestedword"
+)
+
+// Trace adapts a line-oriented call/return trace read from r into docstream
+// events.  Per line:
+//
+//	enter NAME   → a call event labeled NAME
+//	exit NAME    → a return event labeled NAME
+//	exit         → a return event labeled with the innermost open call
+//	               ("_" when nothing is open — an unmatched return, which
+//	               nested words represent fine)
+//	# comment    → skipped (the '#' must be the first non-blank character)
+//	anything     → one internal event per whitespace-separated token
+//
+// Blank lines are skipped; tokens after NAME on enter/exit lines are
+// ignored (timestamps, arguments).  Labels are sanitized like every other
+// adapter's.
+type Trace struct {
+	source
+	sc   *bufio.Scanner
+	open []string // sanitized labels of currently open calls
+	done bool
+}
+
+// NewTrace returns a trace adapter interning labels against alpha (nil for
+// uninterned events).
+func NewTrace(r io.Reader, alpha *alphabet.Alphabet) *Trace {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Trace{source: source{alpha: alpha}, sc: sc}
+}
+
+// Next returns the next event, io.EOF at the end of the trace.  A scanner
+// error (for example a line over the 1 MiB limit) is sticky.
+//
+//nwvet:hotpath
+func (a *Trace) Next() (docstream.Event, error) {
+	for {
+		if e, ok := a.pop(); ok {
+			return e, nil
+		}
+		if a.err != nil {
+			return docstream.Event{}, a.err
+		}
+		a.refill()
+	}
+}
+
+// refill consumes one trace line into zero or more queued events, or sets
+// the sticky error.
+func (a *Trace) refill() {
+	a.reset()
+	if a.done || !a.sc.Scan() {
+		a.done = true
+		if err := a.sc.Err(); err != nil {
+			a.err = err
+		} else {
+			a.err = io.EOF
+		}
+		return
+	}
+	line := a.sc.Text()
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return
+	}
+	switch fields[0] {
+	case "enter":
+		if len(fields) >= 2 {
+			label := Sanitize(fields[1])
+			a.push(nestedword.Call, label)
+			a.open = append(a.open, label)
+			return
+		}
+	case "exit":
+		label := "_"
+		if len(fields) >= 2 {
+			label = Sanitize(fields[1])
+		} else if len(a.open) > 0 {
+			label = a.open[len(a.open)-1]
+		}
+		if len(a.open) > 0 {
+			a.open = a.open[:len(a.open)-1]
+		}
+		a.push(nestedword.Return, label)
+		return
+	}
+	for _, f := range fields {
+		a.push(nestedword.Internal, f)
+	}
+}

@@ -65,6 +65,39 @@ func (e Event) OutOfAlphabet(alpha *alphabet.Alphabet) bool {
 	return e.SymID(alpha) == alpha.Size()
 }
 
+// NewEvent builds an event for a label, interned against alpha when one is
+// given: in-alphabet labels get their alphabet index, anything else the
+// dedicated out-of-alphabet ID alpha.Size().  With a nil alpha the event is
+// uninterned (Sym stays 0).  This is THE out-of-alphabet mapping — the
+// tokenizer and every adapter route through here (or InternBytes), so a
+// label the queries have never heard of gets the same compiled symbol ID no
+// matter which event source produced it.
+func NewEvent(kind nestedword.Kind, label string, alpha *alphabet.Alphabet) Event {
+	if alpha != nil {
+		if i, ok := alpha.Index(label); ok {
+			return Event{Kind: kind, Label: alpha.Symbol(i), Sym: i + 1}
+		}
+		return Event{Kind: kind, Label: label, Sym: alpha.Size() + 1}
+	}
+	return Event{Kind: kind, Label: label}
+}
+
+// InternBytes is NewEvent for a label spelled in a reusable byte buffer: the
+// in-alphabet fast path looks the name up allocation-free
+// (alphabet.IndexBytes) and reuses the alphabet's canonical string, so a
+// caller that recycles its scratch buffer pays zero allocations per
+// in-alphabet event; out-of-alphabet and uninterned labels materialize one
+// fresh string each.
+func InternBytes(kind nestedword.Kind, name []byte, alpha *alphabet.Alphabet) Event {
+	if alpha != nil {
+		if i, ok := alpha.IndexBytes(name); ok {
+			return Event{Kind: kind, Label: alpha.Symbol(i), Sym: i + 1}
+		}
+		return Event{Kind: kind, Label: string(name), Sym: alpha.Size() + 1}
+	}
+	return Event{Kind: kind, Label: string(name)}
+}
+
 // Tokenizer reads the lightweight XML-like syntax incrementally from an
 // io.Reader and emits one Event at a time: "<name>" opens an element,
 // "</name>" closes one, and any other whitespace-separated token is text.
@@ -139,17 +172,10 @@ func (t *Tokenizer) Next() (Event, error) {
 }
 
 // emit builds the event for a token spelled in name (a view into the scratch
-// buffer): with an alphabet bound, in-alphabet labels intern without
-// allocating and reuse the alphabet's canonical string, while out-of-alphabet
-// and uninterned labels materialize a fresh one.
+// buffer) via the shared InternBytes mapping, so tokenizer and adapter
+// streams agree symbol-for-symbol on out-of-alphabet labels.
 func (t *Tokenizer) emit(kind nestedword.Kind, name []byte) Event {
-	if t.alpha != nil {
-		if i, ok := t.alpha.IndexBytes(name); ok {
-			return Event{Kind: kind, Label: t.alpha.Symbol(i), Sym: i + 1}
-		}
-		return Event{Kind: kind, Label: string(name), Sym: t.alpha.Size() + 1}
-	}
-	return Event{Kind: kind, Label: string(name)}
+	return InternBytes(kind, name, t.alpha)
 }
 
 //nwvet:hotpath

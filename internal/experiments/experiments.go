@@ -1286,6 +1286,7 @@ func Index() []Info {
 		{"E24", "bitset: packed uint64 summary rows vs []bool matrix NNWA runner, 4–256 states"},
 		{"E25", "qset: serialized bundle load / mmap cold start vs parse+compile, 1–64 queries"},
 		{"E26", "server: open-loop HTTP serving vs direct pool submission, latency vs shard count"},
+		{"E27", "adapter: XML/JSON/trace decode throughput vs the native tokenizer"},
 	}
 }
 
@@ -1295,7 +1296,7 @@ func Index() []Info {
 // BENCH_E*.json files at the repository root against this list, and
 // scripts/benchcmp compares fresh artifacts against previous ones, so the
 // list is the single source of truth for what the perf trajectory tracks.
-func ArtifactIDs() []string { return []string{"E21", "E22", "E23", "E24", "E25", "E26"} }
+func ArtifactIDs() []string { return []string{"E21", "E22", "E23", "E24", "E25", "E26", "E27"} }
 
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
@@ -1325,6 +1326,7 @@ func All() []Table {
 		E24BitsetRunner(256),
 		E25ColdStart(64),
 		E26HTTPServing(150, 2000),
+		E27AdapterThroughput(100000),
 	}
 }
 

@@ -210,9 +210,11 @@ func vetQuery(rep *VetReport, name string, q Query) {
 
 // vetStructure re-verifies the Compiled table invariants the decoder
 // enforces, plus the determinism/totality property the decoder cannot see:
-// the designated dead state must be a non-accepting sink, or the compiled
-// automaton silently resurrects rejected runs.  It reports whether the
-// tables are sound enough for the semantic pass to index them.
+// the designated dead state must be a sink, or the compiled automaton
+// silently resurrects rejected runs.  (An *accepting* sink is legal — that
+// is what a complemented query looks like — and draws a warning, not an
+// error.)  It reports whether the tables are sound enough for the semantic
+// pass to index them.
 func (c *Compiled) vetStructure(rep *VetReport, name string) bool {
 	bad := func(msg string, args ...any) bool {
 		rep.add(name, VetError, fmt.Sprintf(msg, args...))
@@ -272,10 +274,15 @@ func (c *Compiled) vetStructure(rep *VetReport, name string) bool {
 		}
 	}
 	// Determinism/totality of the sink: every transition out of dead must
-	// land in dead, and dead must not accept.
+	// land in dead.  Acceptance at the sink is legal — a complemented
+	// query (the DSL's "no x after y", or any "not") accepts exactly
+	// where the original automaton died, out-of-alphabet symbols
+	// included, which keeps the complement law not(Q) ≡ !Q exact — but
+	// it is worth surfacing, because on a never-negated query it usually
+	// means a corrupted accept mask.
 	dead := int(c.dead)
 	if c.accept[dead] {
-		rep.add(name, VetError, fmt.Sprintf("dead state %d is accepting", dead))
+		rep.add(name, VetWarning, fmt.Sprintf("dead state %d is accepting (complemented query, or a corrupted accept mask)", dead))
 	}
 	for sym := 0; sym < c.syms; sym++ {
 		i := dead*c.syms + sym

@@ -170,3 +170,23 @@ func TestVetEmptyLanguageWarning(t *testing.T) {
 		t.Errorf("missing empty-language warning:\n%s", rep)
 	}
 }
+
+func TestVetComplementedQueryWarns(t *testing.T) {
+	// Complement flips every accept bit, the designated dead sink's
+	// included — that is what keeps not(Q) ≡ !Q exact on out-of-alphabet
+	// documents.  Vet must therefore treat an accepting dead state as a
+	// warning, never an error: the DSL's "no x after y" is exactly this
+	// shape and has to remain servable.
+	alpha := goldenAlphabet()
+	b := NewBundle(alpha)
+	if err := b.Add("no b after a", Compile(Not(LinearOrder(alpha, "a", "b")))); err != nil {
+		t.Fatal(err)
+	}
+	rep := VetBundle(b)
+	if rep.Errors() != 0 {
+		t.Fatalf("complemented query must vet without errors, got:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "is accepting") {
+		t.Errorf("missing accepting-dead-state warning:\n%s", rep)
+	}
+}

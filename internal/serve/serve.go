@@ -337,6 +337,16 @@ func (p *Pool) SubmitSource(ctx context.Context, id string, src engine.EventSour
 	return p.enqueue(job{id: id, ctx: ctx, src: src}, true)
 }
 
+// TrySubmitSource is SubmitSource with TrySubmit's fail-fast semantics:
+// ErrQueueFull instead of blocking when the target shard's queue is full.
+// The network front-end submits adapter-wrapped request bodies through it.
+func (p *Pool) TrySubmitSource(ctx context.Context, id string, src engine.EventSource) (*Future, error) {
+	if src == nil {
+		return nil, errors.New("serve: nil event source")
+	}
+	return p.enqueue(job{id: id, ctx: ctx, src: src}, false)
+}
+
 // SubmitEvents queues an in-memory event slice as a document.
 func (p *Pool) SubmitEvents(ctx context.Context, id string, events []docstream.Event) (*Future, error) {
 	return p.enqueue(job{id: id, ctx: ctx, src: engine.Events(events)}, true)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adapter"
 	"repro/internal/serve"
 )
 
@@ -66,8 +67,13 @@ type ShardJSON struct {
 // Handler returns the Server's route table, ready to mount on an
 // http.Server (or httptest).  Routes:
 //
-//	POST /v1/documents[?id=ID]  serve one document (body = document text)
-//	POST /v1/batch              serve an NDJSON stream of documents
+//	POST /v1/documents[?id=ID][&format=xml|json|trace]
+//	                            serve one document (body = document text;
+//	                            format routes the body through the matching
+//	                            internal/adapter event source instead of the
+//	                            native tokenizer)
+//	POST /v1/batch              serve an NDJSON stream of documents (a line's
+//	                            optional "format" field works like ?format=)
 //	POST /v1/reload             swap in a freshly opened bundle
 //	GET  /v1/status             bundle identity + serving counters (JSON)
 //	GET  /metrics               Prometheus text exposition
@@ -131,11 +137,13 @@ func (st *poolState) result(res serve.Result) DocumentResult {
 }
 
 // handleDocument serves POST /v1/documents: the request body is one
-// document in the XML-like syntax, the optional ?id= names it for shard
-// affinity, and the response is its DocumentResult.  Submission is
-// fail-fast (TrySubmit): a full shard queue answers 429 immediately
-// instead of parking the handler goroutine — per-request backpressure
-// belongs to the batch endpoint.
+// document in the XML-like syntax — or, with ?format=xml|json|trace, in
+// that real input format, decoded through the matching internal/adapter
+// event source interned against the active generation's alphabet — the
+// optional ?id= names it for shard affinity, and the response is its
+// DocumentResult.  Submission is fail-fast (TrySubmit/TrySubmitSource): a
+// full shard queue answers 429 immediately instead of parking the handler
+// goroutine — per-request backpressure belongs to the batch endpoint.
 func (s *Server) handleDocument(w http.ResponseWriter, r *http.Request) {
 	st, err := s.acquire()
 	if err != nil {
@@ -149,10 +157,27 @@ func (s *Server) handleDocument(w http.ResponseWriter, r *http.Request) {
 		id = fmt.Sprintf("doc-%d", s.nextID.Add(1))
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	fut, err := st.pool.TrySubmit(r.Context(), id, body)
-	if err != nil {
-		writeError(w, err)
-		return
+	var fut *serve.Future
+	if format := r.URL.Query().Get("format"); format != "" {
+		// The adapter wraps the request body; the shard worker drives it
+		// while this handler blocks on the future, so the body is read
+		// from exactly one goroutine at a time.
+		src, err := adapter.New(format, body, st.pool.Engine().Alphabet())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		fut, err = st.pool.TrySubmitSource(r.Context(), id, src)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		fut, err = st.pool.TrySubmit(r.Context(), id, body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 	}
 	res, err := fut.Wait(r.Context())
 	if err != nil {
@@ -162,10 +187,13 @@ func (s *Server) handleDocument(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st.result(res))
 }
 
-// batchLine is one NDJSON request line for POST /v1/batch.
+// batchLine is one NDJSON request line for POST /v1/batch.  Format, when
+// non-empty, decodes Doc through the named internal/adapter event source
+// (xml, json, trace) instead of the native tokenizer.
 type batchLine struct {
-	ID  string `json:"id"`
-	Doc string `json:"doc"`
+	ID     string `json:"id"`
+	Doc    string `json:"doc"`
+	Format string `json:"format,omitempty"`
 }
 
 // batchResult is one NDJSON response line: a DocumentResult on success, or
@@ -193,6 +221,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
+
+	// HTTP/1 closes the unread part of the request body at the first
+	// response flush, which would truncate a batch whose lines are still
+	// arriving while early verdicts stream out; full-duplex mode keeps the
+	// body readable.  (HTTP/2 is full duplex already; an unsupported
+	// ResponseWriter just stays half duplex.)
+	_ = http.NewResponseController(w).EnableFullDuplex()
 
 	// Pipeline: the reader goroutine submits with backpressure and hands
 	// futures down a bounded channel; this goroutine resolves them in
@@ -223,7 +258,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if in.ID == "" {
 				in.ID = fmt.Sprintf("doc-%d", s.nextID.Add(1))
 			}
-			fut, err := st.pool.Submit(r.Context(), in.ID, strings.NewReader(in.Doc))
+			var fut *serve.Future
+			var err error
+			if in.Format != "" {
+				var src adapter.Source
+				src, err = adapter.New(in.Format, strings.NewReader(in.Doc), st.pool.Engine().Alphabet())
+				if err == nil {
+					fut, err = st.pool.SubmitSource(r.Context(), in.ID, src)
+				}
+			} else {
+				fut, err = st.pool.Submit(r.Context(), in.ID, strings.NewReader(in.Doc))
+			}
 			futs <- pending{id: in.ID, fut: fut, err: err}
 		}
 		if err := sc.Err(); err != nil {

@@ -252,6 +252,31 @@ func analyzeUnsafeConfinement(u *unit, allowed bool, report reportFunc) {
 	}
 }
 
+// dslImportPath is the query DSL's import path, confined out of the serving
+// hot path by analyzeDSLConfinement.
+const dslImportPath = "repro/internal/query/dsl"
+
+// analyzeDSLConfinement flags imports of the query DSL compiler from the
+// serving hot-path packages (engine, serve, server).  Parsing and compiling
+// query text are load-time operations: the CLI and the bundle format hand
+// the serving stack compiled automata, so a DSL import there means query
+// text is being interpreted per document.  Test files are exempt (loadUnits
+// never parses them) — differential tests legitimately compile DSL queries
+// next to the stack under test.
+func analyzeDSLConfinement(u *unit, confined bool, report reportFunc) {
+	if !confined {
+		return
+	}
+	for _, file := range u.files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == dslImportPath {
+				report("%s: dsl-confinement: serving hot path imports %s (parse and compile at load time, serve compiled automata)",
+					u.position(imp), dslImportPath)
+			}
+		}
+	}
+}
+
 // guardComment extracts the mutex name from a "guarded by <mu>" field
 // comment.
 var guardComment = regexp.MustCompile(`guarded by (\w+)`)

@@ -15,6 +15,10 @@
 //     StringHeader reinterpretation live only in internal/query/format,
 //     where the zero-copy bundle loader is audited; everywhere else they
 //     are violations.
+//   - dsl-confinement: the serving hot-path packages (internal/engine,
+//     internal/serve, internal/server) may not import the query DSL
+//     compiler (repro/internal/query/dsl) — query text is parsed and
+//     compiled at load time, the stack serves compiled automata.
 //   - locked-field: struct fields documented "guarded by mu" may only be
 //     touched by methods that lock that mutex (or are annotated
 //     //nwvet:locked as externally synchronized, e.g. the owning shard
@@ -66,6 +70,7 @@ type unit struct {
 var (
 	unsafeAllowedDirs   = []string{"internal/query/format"}
 	errorDisciplineDirs = []string{"internal/query", "internal/query/format"}
+	dslConfinedDirs     = []string{"internal/engine", "internal/serve", "internal/server"}
 )
 
 func main() {
@@ -108,6 +113,7 @@ func runNwvet(root string) ([]string, error) {
 	for _, u := range units {
 		analyzeHotpathAlloc(u, report)
 		analyzeUnsafeConfinement(u, dirIn(u.dir, unsafeAllowedDirs), report)
+		analyzeDSLConfinement(u, dirIn(u.dir, dslConfinedDirs), report)
 		analyzeLockedFields(u, report)
 		if dirIn(u.dir, errorDisciplineDirs) {
 			analyzeErrorDiscipline(u, report)

@@ -94,6 +94,23 @@ func TestUnsafeConfinementSeededViolations(t *testing.T) {
 	}
 }
 
+func TestDSLConfinementSeededViolation(t *testing.T) {
+	got := collect(t, "testdata/dsl_bad", func(u *unit, r reportFunc) {
+		analyzeDSLConfinement(u, true, r)
+	})
+	wantFindings(t, got, []string{
+		"dsl-confinement: serving hot path imports repro/internal/query/dsl",
+	})
+
+	// The same file outside the confined directories is fine.
+	outside := collect(t, "testdata/dsl_bad", func(u *unit, r reportFunc) {
+		analyzeDSLConfinement(u, false, r)
+	})
+	if len(outside) != 0 {
+		t.Errorf("unconfined directory still flagged:\n%s", strings.Join(outside, "\n"))
+	}
+}
+
 func TestLockedFieldSeededViolation(t *testing.T) {
 	got := collect(t, "testdata/locked_bad", analyzeLockedFields)
 	wantFindings(t, got, []string{
@@ -114,6 +131,7 @@ func TestCleanFixture(t *testing.T) {
 	got := collect(t, "testdata/clean", func(u *unit, r reportFunc) {
 		analyzeHotpathAlloc(u, r)
 		analyzeUnsafeConfinement(u, false, r)
+		analyzeDSLConfinement(u, true, r)
 		analyzeLockedFields(u, r)
 		analyzeErrorDiscipline(u, r)
 		checkDocComments(u, r)
