@@ -1,5 +1,5 @@
 // Package repro's root test file hosts the benchmark harness: one benchmark
-// per experiment (E1..E27, excluding E18 which was not implemented — see
+// per experiment (E1..E28, excluding E18 which was not implemented — see
 // docs/EXPERIMENTS.md).  Each benchmark recomputes its experiment's
 // table on every iteration, so `go test -bench=. -benchmem` both times the
 // reproduction and regenerates the numbers; run `go run ./cmd/nwbench` to
@@ -182,6 +182,12 @@ func BenchmarkE27_AdapterThroughput(b *testing.B) {
 	}
 }
 
+func BenchmarkE28_ProductCompilation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.E28ProductCompilation(150000))
+	}
+}
+
 // TestExperimentsSanity runs the smaller experiments once and checks the
 // headline facts the paper claims: exponential gaps where promised,
 // agreement columns at 100%, and claimed automaton properties.  It is the
@@ -307,6 +313,24 @@ func TestExperimentsSanity(t *testing.T) {
 	for _, row := range e27.Rows {
 		if row[len(row)-1] != "true" {
 			t.Errorf("E27: adapter stream diverges from its render+retokenize image on row %v", row)
+		}
+	}
+	e28 := experiments.E28ProductCompilation(60000)
+	if len(e28.Rows) != 4 {
+		t.Errorf("E28 produced %d rows, want one per query count", len(e28.Rows))
+	}
+	for _, row := range e28.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E28: product or planner verdicts diverge from the serial oracle on row %v", row)
+		}
+	}
+	if len(e28.Rows) == 4 {
+		last := e28.Rows[3]
+		if last[1] != "0" {
+			t.Errorf("E28: the forced 16-query product compiled %s states; the default budget should reject it", last[1])
+		}
+		if last[2] == "0" {
+			t.Error("E28: the planner formed no product groups at 16 queries")
 		}
 	}
 }

@@ -5,7 +5,7 @@
 // the repository root (go test -bench=.).  Run with -list to print the
 // one-line summary of each experiment instead of computing anything, and
 // with -json DIR to additionally write one machine-readable BENCH_<ID>.json
-// file per serving-stack experiment (experiments.ArtifactIDs(), E21–E27) —
+// file per serving-stack experiment (experiments.ArtifactIDs(), E21–E28) —
 // the per-PR perf trajectory CI uploads as a workflow artifact and guards
 // with the scripts/benchcmp regression gate.
 package main
@@ -88,7 +88,7 @@ func writeBenchJSON(dir, id string, table experiments.Table, wall time.Duration)
 func main() {
 	quick := flag.Bool("quick", false, "use smaller parameter ranges for a fast smoke run")
 	list := flag.Bool("list", false, "print one line per experiment (the docs/EXPERIMENTS.md summaries) and exit")
-	jsonDir := flag.String("json", "", "write BENCH_<ID>.json files for the serving-stack experiments (E21–E27) into this directory")
+	jsonDir := flag.String("json", "", "write BENCH_<ID>.json files for the serving-stack experiments (E21–E28) into this directory")
 	flag.Parse()
 
 	if *list {
@@ -135,6 +135,7 @@ func main() {
 		{"E25", func() experiments.Table { return experiments.E25ColdStart(64) }},
 		{"E26", func() experiments.Table { return experiments.E26HTTPServing(400, 4000) }},
 		{"E27", func() experiments.Table { return experiments.E27AdapterThroughput(200000) }},
+		{"E28", func() experiments.Table { return experiments.E28ProductCompilation(300000) }},
 	}
 	entries := full
 	if *quick {
@@ -152,6 +153,7 @@ func main() {
 			{"E25", func() experiments.Table { return experiments.E25ColdStart(64) }},
 			{"E26", func() experiments.Table { return experiments.E26HTTPServing(100, 1000) }},
 			{"E27", func() experiments.Table { return experiments.E27AdapterThroughput(50000) }},
+			{"E28", func() experiments.Table { return experiments.E28ProductCompilation(60000) }},
 		}
 	}
 

@@ -10,16 +10,21 @@
 //	nwtool tree  'a(b(),c(d()))'    encode an ordered tree as a tree word
 //	nwtool query '<doc> ... </doc>' LABEL...
 //	                                run the //LABEL1//LABEL2... path query
-//	nwtool compile -labels l1,l2 [-order ...] [-path ...] [-dsl QUERIES] -o FILE
+//	nwtool compile -labels l1,l2 [-order ...] [-path ...] [-dsl QUERIES] [-plan] -o FILE
 //	                                compile the query set once and write a
 //	                                serialized bundle; nwquery and nwserve
 //	                                boot from it with -queryset FILE; -dsl
 //	                                adds textual queries (see
-//	                                internal/query/dsl) to the set
+//	                                internal/query/dsl) to the set; -plan
+//	                                product-compiles clusters of similar
+//	                                queries into shared automata (see
+//	                                internal/query/plan and
+//	                                docs/COMPILATION.md)
 //	nwtool bundle [-json] FILE      describe a serialized bundle (with -json,
 //	                                the machine-readable schema /v1/status of
-//	                                nwserved shares)
+//	                                nwserved shares), product groups included
 //	nwtool vet FILE                 statically verify a compiled artifact
+//	                                (bundle, standalone query, or product)
 //
 // The compile subcommand builds exactly the query set nwquery and nwserve
 // build from the same -labels/-order/-path flags (well-formedness always,
@@ -46,6 +51,7 @@ import (
 	"repro/internal/nestedword"
 	"repro/internal/query"
 	"repro/internal/query/dsl"
+	"repro/internal/query/plan"
 	"repro/internal/tree"
 )
 
@@ -101,6 +107,9 @@ func compileBundle(args []string) {
 	order := fs.String("order", "", "comma-separated labels for a linear-order query")
 	path := fs.String("path", "", "comma-separated labels for a hierarchical path query")
 	dslFlag := fs.String("dsl", "", "semicolon-separated DSL queries (e.g. 'within book: title before author; no write after close'); their labels join the alphabet")
+	planFlag := fs.Bool("plan", false, "product-compile clusters of structurally similar queries into shared automata before writing")
+	planBudget := fs.Int("plan-budget", 0, "with -plan: per-product state budget (0 = the planner default; over-budget clusters fan out)")
+	planCluster := fs.Int("plan-cluster", 0, "with -plan: maximum queries per product cluster (0 = the planner default)")
 	out := fs.String("o", "queries.nwq", "output bundle file")
 	fs.Parse(args)
 
@@ -122,6 +131,16 @@ func compileBundle(args []string) {
 	bundle := query.NewBundle(alpha)
 	for i, q := range queries {
 		exitOn(bundle.Add(names[i], q))
+	}
+	if *planFlag {
+		planned, dec, err := plan.Bundle(bundle, plan.Options{
+			StateBudget: *planBudget,
+			ClusterSize: *planCluster,
+		})
+		exitOn(err)
+		bundle = planned
+		fmt.Printf("plan: %d product groups (%d states total), %d queries fanned out\n",
+			len(dec.Groups), dec.States, len(dec.Solo))
 	}
 	data := bundle.Marshal()
 	exitOn(os.WriteFile(*out, data, 0o644))
@@ -158,7 +177,18 @@ func describeBundle(args []string) {
 	fmt.Printf("alphabet : %v (%d symbols)\n", b.Alphabet(), desc.AlphabetSize)
 	fmt.Printf("queries  : %d\n", len(desc.Queries))
 	for _, q := range desc.Queries {
+		if q.Group > 0 {
+			fmt.Printf("  %-30s %s (group %d)\n", q.Name, q.Kind, q.Group)
+			continue
+		}
 		fmt.Printf("  %-30s %s, %d states\n", q.Name, q.Kind, q.States)
+	}
+	if len(desc.Groups) > 0 {
+		fmt.Printf("groups   : %d\n", len(desc.Groups))
+		for i, g := range desc.Groups {
+			fmt.Printf("  group %d: %s, %d states, %d mask words, demuxes %v\n",
+				i+1, g.Kind, g.States, g.MaskWords, g.Queries)
+		}
 	}
 }
 

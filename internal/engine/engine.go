@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"repro/internal/alphabet"
+	"repro/internal/bitset"
 	"repro/internal/docstream"
 	"repro/internal/nestedword"
 	"repro/internal/nwa"
@@ -42,18 +43,32 @@ type EventSource interface {
 }
 
 // Engine is an immutable set of registered queries.  Build it once with
-// Register / RegisterQuery, then call Run (safe for concurrent use) for each
-// document.
+// Register / RegisterQuery / RegisterBundle, then call Run (safe for
+// concurrent use) for each document.
+//
+// Registering a planned bundle (see internal/query/plan) dispatches each
+// product-compiled cluster to one shared ProductRunner whose verdict
+// bitmask is demuxed back to the member names — Result.Verdicts, Names,
+// and name lookup are indistinguishable from per-query fan-out.
 type Engine struct {
 	names   []string
 	byName  map[string]int
-	queries []query.Query
+	queries []query.Query // parallel to names; nil where a product group answers
+	solo    []int         // verdict indices with their own runner, in order
+	groups  []engineGroup
 	alpha   *alphabet.Alphabet // shared by every registered query
 
 	batchSize int
 	workers   int
 
 	pool sync.Pool // *Session
+}
+
+// engineGroup is one registered product cluster: the shared automaton plus
+// the verdict slots its mask bits demux to.
+type engineGroup struct {
+	indices []int // verdict slots, mask-bit order
+	product *query.CompiledProduct
 }
 
 // Option configures an Engine.
@@ -108,12 +123,14 @@ func (e *Engine) RegisterQuery(name string, q query.Query) (int, error) {
 		return 0, fmt.Errorf("engine: query %q uses alphabet %v, engine interns against %v",
 			name, q.Alphabet(), e.alpha)
 	}
-	e.byName[name] = len(e.queries)
+	idx := len(e.names)
+	e.byName[name] = idx
 	e.names = append(e.names, name)
 	e.queries = append(e.queries, q)
+	e.solo = append(e.solo, idx)
 	// Sessions created for the old query set are stale; drop them.
 	e.pool = sync.Pool{New: func() any { return e.newSession() }}
-	return len(e.queries) - 1, nil
+	return idx, nil
 }
 
 // Register compiles a deterministic NWA and registers it — the thin wrapper
@@ -145,22 +162,49 @@ func (e *Engine) MustRegisterQuery(name string, q query.Query) int {
 // name, in bundle order, and returns their verdict indices.  This is how a
 // front-end boots from a serialized query set (query.OpenBundle) instead of
 // compiling per process: the bundle's tables — possibly aliasing an mmap'd
-// read-only region — are used as-is.  On error the engine may be left with
-// a prefix of the bundle registered; treat it as unusable.
+// read-only region — are used as-is.  A planned bundle's product groups are
+// registered as shared runners with their verdicts demuxed to the same
+// indices per-query registration would have used.  On error the engine may
+// be left with a prefix of the bundle registered; treat it as unusable.
 func (e *Engine) RegisterBundle(b *query.Bundle) ([]int, error) {
+	if b.Len() > 0 {
+		if e.alpha == nil {
+			e.alpha = b.Alphabet()
+		} else if !e.alpha.Equal(b.Alphabet()) {
+			return nil, fmt.Errorf("engine: bundle uses alphabet %v, engine interns against %v",
+				b.Alphabet(), e.alpha)
+		}
+	}
+	base := len(e.names)
 	indices := make([]int, b.Len())
 	for i := 0; i < b.Len(); i++ {
-		idx, err := e.RegisterQuery(b.Name(i), b.Query(i))
-		if err != nil {
-			return nil, fmt.Errorf("engine: bundle query %q: %w", b.Name(i), err)
+		name := b.Name(i)
+		if _, dup := e.byName[name]; dup {
+			return nil, fmt.Errorf("engine: bundle query %q: already registered", name)
 		}
-		indices[i] = idx
+		e.byName[name] = base + i
+		e.names = append(e.names, name)
+		e.queries = append(e.queries, b.Query(i))
+		if b.Query(i) != nil {
+			e.solo = append(e.solo, base+i)
+		}
+		indices[i] = base + i
 	}
+	for _, g := range b.Groups() {
+		eg := engineGroup{indices: make([]int, len(g.Indices)), product: g.Product}
+		for j, bi := range g.Indices {
+			eg.indices[j] = base + int(bi)
+		}
+		e.groups = append(e.groups, eg)
+	}
+	// Sessions created for the old query set are stale; drop them.
+	e.pool = sync.Pool{New: func() any { return e.newSession() }}
 	return indices, nil
 }
 
-// Len returns the number of registered queries.
-func (e *Engine) Len() int { return len(e.queries) }
+// Len returns the number of registered queries (product-grouped ones
+// included).
+func (e *Engine) Len() int { return len(e.names) }
 
 // Names returns the registered query names in index order.
 func (e *Engine) Names() []string { return append([]string(nil), e.names...) }
@@ -179,12 +223,25 @@ type Result struct {
 	MaxDepth int
 }
 
-// Session is the reusable per-pass state: one runner per query plus the
-// shared batch buffer.  Obtain one with Acquire for manual event feeding, or
-// let Run manage it.
+// stepper is the event-consuming face shared by per-query runners and
+// product runners: what the fan-out loop needs, acceptance excluded.
+type stepper interface {
+	StepCall(sym int)
+	StepInternal(sym int)
+	StepReturn(sym int)
+	Reset()
+}
+
+// Session is the reusable per-pass state: one runner per solo query, one
+// shared product runner per registered cluster, plus the shared batch
+// buffer.  Obtain one with Acquire for manual event feeding, or let Run
+// manage it.
 type Session struct {
 	engine  *Engine
-	runners []query.Runner
+	runners []query.Runner        // parallel to engine.solo
+	prods   []query.ProductRunner // parallel to engine.groups
+	feed    []stepper             // runners then prods: the fan-out list
+	vrow    bitset.Row            // scratch: verdict demux row, widest group
 	batch   []docstream.Event
 	events  int
 	depth   int // shared: all runners see the same calls/returns
@@ -194,11 +251,25 @@ type Session struct {
 func (e *Engine) newSession() *Session {
 	s := &Session{
 		engine:  e,
-		runners: make([]query.Runner, len(e.queries)),
+		runners: make([]query.Runner, len(e.solo)),
 		batch:   make([]docstream.Event, 0, e.batchSize),
 	}
-	for i, q := range e.queries {
-		s.runners[i] = q.NewRunner()
+	s.feed = make([]stepper, 0, len(e.solo)+len(e.groups))
+	for i, qi := range e.solo {
+		s.runners[i] = e.queries[qi].NewRunner()
+		s.feed = append(s.feed, s.runners[i])
+	}
+	maxNq := 0
+	for _, g := range e.groups {
+		pr := g.product.NewProductRunner()
+		s.prods = append(s.prods, pr)
+		s.feed = append(s.feed, pr)
+		if nq := g.product.QueryCount(); nq > maxNq {
+			maxNq = nq
+		}
+	}
+	if maxNq > 0 {
+		s.vrow = bitset.New(maxNq)
 	}
 	return s
 }
@@ -220,7 +291,7 @@ func (e *Engine) Release(s *Session) { e.pool.Put(s) }
 // Reset returns the session to the start of a new document, keeping every
 // runner and buffer allocation.  Sessions from Acquire are already reset.
 func (s *Session) Reset() {
-	for _, r := range s.runners {
+	for _, r := range s.feed {
 		r.Reset()
 	}
 	s.batch = s.batch[:0]
@@ -245,10 +316,11 @@ func (s *Session) Feed(e docstream.Event) {
 	}
 }
 
-// feedRunner replays the interned batch into one runner.
+// feedRunner replays the interned batch into one runner — per-query or
+// product, the dispatch is identical.
 //
 //nwvet:hotpath
-func feedRunner(r query.Runner, batch []docstream.Event) {
+func feedRunner(r stepper, batch []docstream.Event) {
 	for _, e := range batch {
 		sym := e.Sym - 1
 		switch e.Kind {
@@ -279,31 +351,31 @@ func (s *Session) flush() {
 		}
 	}
 	w := s.engine.workers
-	if w > len(s.runners) {
-		w = len(s.runners)
+	if w > len(s.feed) {
+		w = len(s.feed)
 	}
 	if mp := runtime.GOMAXPROCS(0); w > mp {
 		w = mp
 	}
 	if w <= 1 {
-		for _, r := range s.runners {
+		for _, r := range s.feed {
 			feedRunner(r, s.batch)
 		}
 	} else {
 		var wg sync.WaitGroup
-		chunk := (len(s.runners) + w - 1) / w
-		for lo := 0; lo < len(s.runners); lo += chunk {
+		chunk := (len(s.feed) + w - 1) / w
+		for lo := 0; lo < len(s.feed); lo += chunk {
 			hi := lo + chunk
-			if hi > len(s.runners) {
-				hi = len(s.runners)
+			if hi > len(s.feed) {
+				hi = len(s.feed)
 			}
 			wg.Add(1)
-			go func(rs []query.Runner) {
+			go func(rs []stepper) {
 				defer wg.Done()
 				for _, r := range rs {
 					feedRunner(r, s.batch)
 				}
-			}(s.runners[lo:hi])
+			}(s.feed[lo:hi])
 		}
 		wg.Wait()
 	}
@@ -330,13 +402,20 @@ func (s *Session) flush() {
 // complete nested word.
 func (s *Session) Result() *Result {
 	s.flush()
+	e := s.engine
 	res := &Result{
-		Verdicts: make([]bool, len(s.runners)),
+		Verdicts: make([]bool, len(e.names)),
 		Events:   s.events,
 		MaxDepth: s.max,
 	}
 	for i, r := range s.runners {
-		res.Verdicts[i] = r.Accepting()
+		res.Verdicts[e.solo[i]] = r.Accepting()
+	}
+	for gi, pr := range s.prods {
+		pr.Verdicts(s.vrow)
+		for j, idx := range e.groups[gi].indices {
+			res.Verdicts[idx] = s.vrow.Has(j)
+		}
 	}
 	return res
 }

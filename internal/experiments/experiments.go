@@ -1287,6 +1287,7 @@ func Index() []Info {
 		{"E25", "qset: serialized bundle load / mmap cold start vs parse+compile, 1–64 queries"},
 		{"E26", "server: open-loop HTTP serving vs direct pool submission, latency vs shard count"},
 		{"E27", "adapter: XML/JSON/trace decode throughput vs the native tokenizer"},
+		{"E28", "plan: product-compiled query clusters vs fan-out, state-budget fallback at 16 queries"},
 	}
 }
 
@@ -1296,7 +1297,9 @@ func Index() []Info {
 // BENCH_E*.json files at the repository root against this list, and
 // scripts/benchcmp compares fresh artifacts against previous ones, so the
 // list is the single source of truth for what the perf trajectory tracks.
-func ArtifactIDs() []string { return []string{"E21", "E22", "E23", "E24", "E25", "E26", "E27"} }
+func ArtifactIDs() []string {
+	return []string{"E21", "E22", "E23", "E24", "E25", "E26", "E27", "E28"}
+}
 
 // All returns every experiment table with moderate default parameters.
 func All() []Table {
@@ -1327,6 +1330,7 @@ func All() []Table {
 		E25ColdStart(64),
 		E26HTTPServing(150, 2000),
 		E27AdapterThroughput(100000),
+		E28ProductCompilation(150000),
 	}
 }
 

@@ -140,31 +140,14 @@ func CompileN(n *nwa.NNWA) *CompiledN {
 			key := uint64((lin*num+hier)*syms + sym)
 			entries = append(entries, sparseEntry{key, int32(to)})
 		})
-		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
-		c.retTo = make([]int32, len(entries))
-		for i, e := range entries {
-			if len(c.retKeys) == 0 || c.retKeys[len(c.retKeys)-1] != e.key {
-				c.retKeys = append(c.retKeys, e.key)
-				c.retSpan = append(c.retSpan, int32(i))
-			}
-			c.retTo[i] = e.val
-		}
-		c.retSpan = append(c.retSpan, int32(len(entries)))
+		c.retKeys, c.retSpan, c.retTo = buildReturnSpans(entries)
 	}
 
 	// Per-symbol successor bitmasks, precomputed once so every runner's
 	// internal and call steps are pure Gather sweeps.
 	c.w = bitset.Words(num)
-	c.startRow = bitset.New(num)
-	for _, q := range c.starts {
-		c.startRow.Set(int(q))
-	}
-	c.acceptRow = bitset.New(num)
-	for q := 0; q < num; q++ {
-		if c.accept[q] {
-			c.acceptRow.Set(q)
-		}
-	}
+	c.startRow = packStateRow(num, c.starts)
+	c.acceptRow = packAcceptRow(c.accept)
 	c.intMask = make([]uint64, syms*num*c.w)
 	c.callMask = make([]uint64, syms*num*c.w)
 	n.EachInternal(func(state, sym, to int) {
@@ -193,6 +176,69 @@ func prefixSums(counts []int32) []int32 {
 		off[i+1] = off[i] + c
 	}
 	return off
+}
+
+// buildReturnSpans sorts sparse return entries and packs them into the
+// deduplicated keys / prefix-span / targets triple of the CompiledN sparse
+// form.  Shared by CompileN and the product union builder.
+func buildReturnSpans(entries []sparseEntry) (keys []uint64, span, to []int32) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	to = make([]int32, len(entries))
+	for i, e := range entries {
+		if len(keys) == 0 || keys[len(keys)-1] != e.key {
+			keys = append(keys, e.key)
+			span = append(span, int32(i))
+		}
+		to[i] = e.val
+	}
+	span = append(span, int32(len(entries)))
+	return keys, span, to
+}
+
+// packStateRow packs a list of state IDs into a fresh bitset row over num
+// states — the start-row construction shared by CompileN, the serialized
+// decode path, and the product union builder.
+func packStateRow(num int, states []int32) bitset.Row {
+	r := bitset.New(num)
+	for _, q := range states {
+		r.Set(int(q))
+	}
+	return r
+}
+
+// packAcceptRow packs a []bool accept vector into a fresh bitset row — the
+// accept-row construction shared with packStateRow's call sites.
+func packAcceptRow(accept []bool) bitset.Row {
+	r := bitset.New(len(accept))
+	for q, ok := range accept {
+		if ok {
+			r.Set(q)
+		}
+	}
+	return r
+}
+
+// eachReturn enumerates every return transition with its target — the
+// relational analogue of EachReturn on the source automaton, reconstructed
+// from whichever adjacency form the table is stored in.  The product union
+// builder re-keys these edges into the concatenated state space.
+func (c *CompiledN) eachReturn(f func(lin, hier int32, sym int, to int32)) {
+	if c.dense {
+		for idx := 0; idx < c.num*c.num*c.syms; idx++ {
+			for _, to := range c.retTo[c.retOff[idx]:c.retOff[idx+1]] {
+				rest := idx / c.syms
+				f(int32(rest/c.num), int32(rest%c.num), idx%c.syms, to)
+			}
+		}
+		return
+	}
+	for i, key := range c.retKeys {
+		idx := int(key)
+		rest := idx / c.syms
+		for _, to := range c.retTo[c.retSpan[i]:c.retSpan[i+1]] {
+			f(int32(rest/c.num), int32(rest%c.num), idx%c.syms, to)
+		}
+	}
 }
 
 // Alphabet returns the alphabet the compiled symbol IDs refer to.
@@ -237,6 +283,12 @@ func (c *CompiledN) NewRunner() Runner {
 	if useMatrixRunner {
 		return c.NewReferenceRunner()
 	}
+	return c.newBitsetRunner()
+}
+
+// newBitsetRunner mints the concrete bitset runner; split from NewRunner so
+// the product layer's joint runner can hold it without the interface hop.
+func (c *CompiledN) newBitsetRunner() *nnwaBitsetRunner {
 	r := &nnwaBitsetRunner{c: c, w: c.w}
 	r.S = make([]uint64, c.num*c.w)
 	r.R = bitset.New(c.num)

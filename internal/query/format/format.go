@@ -42,6 +42,9 @@ const (
 	KindNNWA = 2
 	// KindBundle marks a named multi-query set with one shared alphabet.
 	KindBundle = 3
+	// KindProduct marks a product-compiled query cluster: one shared
+	// automaton plus the per-query accept bitmask it demuxes verdicts from.
+	KindProduct = 4
 )
 
 const (

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// plannedGoldenBundle product-compiles the golden bundle's two deterministic
+// queries into one group, leaving the nondeterministic query solo.
+func plannedGoldenBundle(t *testing.T) *Bundle {
+	t.Helper()
+	src := goldenBundle(t)
+	p, err := CompileProduct([]Query{src.Query(0), src.Query(1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := NewPlannedBundle(src, [][]int{{0, 1}}, []*CompiledProduct{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return planned
+}
+
+// checkProductAgreement replays random words through a product runner and the
+// member queries, failing on any demuxed verdict divergence.
+func checkProductAgreement(t *testing.T, label string, p *CompiledProduct, members []Query, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(321))
+	words, _ := randomWords(rng, trials, []string{"a", "b", "zz"})
+	alpha := p.Alphabet()
+	r := p.NewProductRunner()
+	row := bitset.New(p.QueryCount())
+	for wi, w := range words {
+		runProductWord(r, alpha, w, row)
+		for j, m := range members {
+			if want := RunWord(m.NewRunner(), alpha, w); row.Has(j) != want {
+				t.Fatalf("%s: word %d, member %d: product %v, member %v on %v",
+					label, wi, j, row.Has(j), want, w)
+			}
+		}
+	}
+}
+
+// TestProductMarshalRoundTrip round-trips both product shapes through
+// Marshal/UnmarshalProduct: byte-identical re-encoding, preserved shape, and
+// verdict agreement against the original members.
+func TestProductMarshalRoundTrip(t *testing.T) {
+	members, _ := detProductMembers()
+	det, err := CompileProduct(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := CompileProduct([]Query{CompileN(goldenNNWA()), CompileN(goldenNNWA())}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		p       *CompiledProduct
+		members []Query
+	}{
+		{"det", det, members},
+		{"joint", joint, []Query{CompileN(goldenNNWA()), CompileN(goldenNNWA())}},
+	} {
+		data := tc.p.Marshal()
+		dec, err := UnmarshalProduct(data)
+		if err != nil {
+			t.Fatalf("%s: UnmarshalProduct: %v", tc.name, err)
+		}
+		if dec.QueryCount() != tc.p.QueryCount() || dec.NumStates() != tc.p.NumStates() ||
+			dec.Deterministic() != tc.p.Deterministic() {
+			t.Fatalf("%s: decoded shape %d/%d/%v, want %d/%d/%v", tc.name,
+				dec.QueryCount(), dec.NumStates(), dec.Deterministic(),
+				tc.p.QueryCount(), tc.p.NumStates(), tc.p.Deterministic())
+		}
+		if !dec.Alphabet().Equal(tc.p.Alphabet()) {
+			t.Fatalf("%s: decoded alphabet %v", tc.name, dec.Alphabet())
+		}
+		if again := dec.Marshal(); !bytes.Equal(again, data) {
+			t.Fatalf("%s: decode→re-encode changed the bytes", tc.name)
+		}
+		checkProductAgreement(t, tc.name, dec, tc.members, 200)
+	}
+}
+
+// TestPlannedBundleRoundTrip round-trips a planned bundle — one product
+// group plus a solo query — through Marshal and both load paths.
+func TestPlannedBundleRoundTrip(t *testing.T) {
+	planned := plannedGoldenBundle(t)
+	src := goldenBundle(t)
+	data := planned.Marshal()
+
+	for _, load := range []struct {
+		name string
+		fn   func([]byte) (*Bundle, error)
+	}{
+		{"UnmarshalBundle", UnmarshalBundle},
+		{"LoadBundleMapped", LoadBundleMapped},
+	} {
+		dec, err := load.fn(data)
+		if err != nil {
+			t.Fatalf("%s: %v", load.name, err)
+		}
+		if dec.Len() != src.Len() {
+			t.Fatalf("%s: %d names, want %d", load.name, dec.Len(), src.Len())
+		}
+		groups := dec.Groups()
+		if len(groups) != 1 {
+			t.Fatalf("%s: %d groups, want 1", load.name, len(groups))
+		}
+		g := groups[0]
+		if len(g.Indices) != 2 || g.Indices[0] != 0 || g.Indices[1] != 1 {
+			t.Fatalf("%s: group indices %v, want [0 1]", load.name, g.Indices)
+		}
+		// Grouped names have no solo query; the solo one keeps its runner.
+		if dec.Query(0) != nil || dec.Query(1) != nil {
+			t.Fatalf("%s: grouped queries still have solo runners", load.name)
+		}
+		if dec.Query(2) == nil {
+			t.Fatalf("%s: solo query lost its runner", load.name)
+		}
+		checkProductAgreement(t, load.name, g.Product, []Query{src.Query(0), src.Query(1)}, 150)
+		checkQueryAgreement(t, load.name+" solo", src.Query(2), dec.Query(2), 120)
+		if again := dec.Marshal(); !bytes.Equal(again, data) {
+			t.Fatalf("%s: decode→re-encode changed the bytes", load.name)
+		}
+	}
+}
+
+// TestNewPlannedBundleErrors pins the planned-bundle construction
+// invariants.
+func TestNewPlannedBundleErrors(t *testing.T) {
+	src := goldenBundle(t)
+	p, err := CompileProduct([]Query{src.Query(0), src.Query(1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		clusters [][]int
+		products []*CompiledProduct
+	}{
+		{"length mismatch", [][]int{{0, 1}}, nil},
+		{"nil product", [][]int{{0, 1}}, []*CompiledProduct{nil}},
+		{"count mismatch", [][]int{{0}}, []*CompiledProduct{p}},
+		{"index out of range", [][]int{{0, 9}}, []*CompiledProduct{p}},
+		{"duplicate index", [][]int{{0, 0}}, []*CompiledProduct{p}},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlannedBundle(src, tc.clusters, tc.products); err == nil {
+			t.Errorf("%s: NewPlannedBundle succeeded", tc.name)
+		}
+	}
+	planned := plannedGoldenBundle(t)
+	if _, err := NewPlannedBundle(planned, nil, nil); err == nil {
+		t.Error("planning an already-planned bundle succeeded")
+	}
+}
+
+// TestPlannedBundleDecodeErrors corrupts a valid planned marshal in targeted
+// ways: every mutation must fail cleanly.
+func TestPlannedBundleDecodeErrors(t *testing.T) {
+	data := plannedGoldenBundle(t).Marshal()
+	for i := 0; i < len(data); i += 11 {
+		if _, err := UnmarshalBundle(data[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", i)
+		}
+	}
+	// A planned container is still a bundle: the per-query loaders reject it.
+	if _, err := UnmarshalProduct(data); err == nil {
+		t.Error("UnmarshalProduct accepted a planned bundle container")
+	}
+	// A bare product container is not a bundle.
+	members, _ := detProductMembers()
+	p, err := CompileProduct(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalBundle(p.Marshal()); err == nil {
+		t.Error("UnmarshalBundle accepted a bare product container")
+	}
+	// A bare product blob has no alphabet section of its own.
+	if _, err := UnmarshalProduct(p.encode(false, nil)); err == nil {
+		t.Error("UnmarshalProduct accepted a product with no alphabet")
+	}
+}

@@ -66,6 +66,12 @@ const (
 	secCallMask = 18 // uint64s: NNWA per-symbol call successor slab
 	secNames    = 19 // string list: bundle query names
 	secQuery    = 20 // bytes: one embedded query container per bundle query
+
+	// Product-compiled cluster sections (format.KindProduct, PR 9).
+	secAcceptMask = 21 // uint64s: per-query accept bitmask slab
+	secGroupIdx   = 22 // int32s: bundle indices the product's mask bits demux to
+	secSolo       = 23 // int32s: bundle indices served by fanned-out secQuery blobs
+	secProduct    = 24 // bytes: one embedded KindProduct container per cluster
 )
 
 // Decode limits: far beyond any automaton this repository compiles, but
@@ -202,23 +208,35 @@ func (d *decodeState) uint64s(tag uint32, what string) ([]uint64, error) {
 	return v, nil
 }
 
+// loadAlphabet reads the container's own alphabet section when no shared
+// alphabet was supplied.  Product containers call it before decoding their
+// embedded automaton (whose symbol count is not yet known); resolveAlphabet
+// adds the size check once it is.
+func (d *decodeState) loadAlphabet() error {
+	if d.alpha != nil {
+		return nil
+	}
+	b, err := d.section(secAlphabet, "alphabet")
+	if err != nil {
+		return err
+	}
+	symbols, err := format.Strings(b)
+	if err != nil {
+		return fmt.Errorf("query: alphabet section: %w", err)
+	}
+	d.alpha = alphabet.New(symbols...)
+	if d.alpha.Size() != len(symbols) {
+		return fmt.Errorf("query: serialized alphabet repeats a symbol (%d listed, %d distinct)",
+			len(symbols), d.alpha.Size())
+	}
+	return nil
+}
+
 // resolveAlphabet returns the shared alphabet, or reads the blob's own
 // alphabet section, and checks it against the serialized symbol count.
 func (d *decodeState) resolveAlphabet(syms int) error {
-	if d.alpha == nil {
-		b, err := d.section(secAlphabet, "alphabet")
-		if err != nil {
-			return err
-		}
-		symbols, err := format.Strings(b)
-		if err != nil {
-			return fmt.Errorf("query: alphabet section: %w", err)
-		}
-		d.alpha = alphabet.New(symbols...)
-		if d.alpha.Size() != len(symbols) {
-			return fmt.Errorf("query: serialized alphabet repeats a symbol (%d listed, %d distinct)",
-				len(symbols), d.alpha.Size())
-		}
+	if err := d.loadAlphabet(); err != nil {
+		return err
 	}
 	if d.alpha.Size()+1 != syms {
 		return fmt.Errorf("query: automaton compiled over %d symbols, alphabet has %d",
@@ -519,16 +537,8 @@ func decodeCompiledN(d *decodeState) (*CompiledN, error) {
 		}
 		*t.dst = v
 	}
-	c.startRow = bitset.New(num)
-	for _, q := range c.starts {
-		c.startRow.Set(int(q))
-	}
-	c.acceptRow = bitset.New(num)
-	for q := 0; q < num; q++ {
-		if c.accept[q] {
-			c.acceptRow.Set(q)
-		}
-	}
+	c.startRow = packStateRow(num, c.starts)
+	c.acceptRow = packAcceptRow(c.accept)
 	return c, nil
 }
 
@@ -605,16 +615,153 @@ func UnmarshalQuery(data []byte) (Query, error) { return decodeQuery(data, nil, 
 // the query is in use.
 func LoadQueryMapped(data []byte) (Query, error) { return decodeQuery(data, nil, true) }
 
+// Marshal serializes the product cluster, alphabet included, into a
+// standalone KindProduct container: meta ({query count, joint-mode flag}),
+// the accept bitmask slab, and the shared automaton as an embedded
+// KindDNWA/KindNNWA blob.
+func (p *CompiledProduct) Marshal() []byte { return p.encode(true, nil) }
+
+func (p *CompiledProduct) encode(includeAlpha bool, groupIdx []int32) []byte {
+	w := format.NewWriter(format.KindProduct)
+	mode := uint64(0)
+	if !p.Deterministic() {
+		mode = 1
+	}
+	w.Uint64s(secMeta, []uint64{uint64(p.nq), mode})
+	if includeAlpha {
+		w.Strings(secAlphabet, p.Alphabet().Symbols())
+	}
+	if groupIdx != nil {
+		w.Int32s(secGroupIdx, groupIdx)
+	}
+	w.Uint64s(secAcceptMask, p.mask)
+	switch c := p.inner.(type) {
+	case *Compiled:
+		w.Bytes(secQuery, c.encode(false))
+	case *CompiledN:
+		w.Bytes(secQuery, c.encode(false))
+	}
+	return w.Finish()
+}
+
+// decodeProduct rebuilds a CompiledProduct from a KindProduct container,
+// returning the demux indices of its group-index section when present (a
+// bundle-embedded product names the bundle slots its mask bits answer).
+// Beyond the embedded automaton's own validation, the accept mask must have
+// exactly the width the mode implies and no bits beyond the query count
+// (deterministic) or state count (joint) — the "mask width == query count"
+// guarantee nwtool vet relies on.
+func decodeProduct(d *decodeState) (*CompiledProduct, []int32, error) {
+	if d.r.Kind() != format.KindProduct {
+		return nil, nil, fmt.Errorf("query: container kind %d is not a product cluster", d.r.Kind())
+	}
+	meta, err := d.uint64s(secMeta, "meta")
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(meta) < 2 {
+		return nil, nil, fmt.Errorf("query: product meta section holds %d values, want 2", len(meta))
+	}
+	nq, mode := int(meta[0]), meta[1]
+	if nq < 1 || nq > maxStates {
+		return nil, nil, fmt.Errorf("query: product over %d queries outside [1, %d]", meta[0], maxStates)
+	}
+	if mode > 1 {
+		return nil, nil, fmt.Errorf("query: product mode %d is neither deterministic (0) nor joint (1)", mode)
+	}
+	if err := d.loadAlphabet(); err != nil {
+		return nil, nil, err
+	}
+	var groupIdx []int32
+	if _, ok := d.r.Section(secGroupIdx); ok {
+		if groupIdx, err = d.int32s(secGroupIdx, "group index"); err != nil {
+			return nil, nil, err
+		}
+		if len(groupIdx) != nq {
+			return nil, nil, fmt.Errorf("query: product answers %d queries but demuxes to %d bundle slots",
+				nq, len(groupIdx))
+		}
+	}
+	blob, err := d.section(secQuery, "embedded automaton")
+	if err != nil {
+		return nil, nil, err
+	}
+	inner, err := decodeQuery(blob, d.alpha, d.zeroCopy)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: product automaton: %w", err)
+	}
+	mask, err := d.uint64s(secAcceptMask, "accept mask")
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &CompiledProduct{inner: inner, nq: nq, mask: mask}
+	switch c := inner.(type) {
+	case *Compiled:
+		if mode != 0 {
+			return nil, nil, fmt.Errorf("query: joint-mode product embeds a deterministic automaton")
+		}
+		p.maskW = bitset.Words(nq)
+		want, ok := mul(c.num, p.maskW)
+		if !ok || len(mask) != want {
+			return nil, nil, fmt.Errorf("query: product accept mask holds %d words, want %d (%d states × %d)",
+				len(mask), want, c.num, p.maskW)
+		}
+		if err := checkMaskBits("accept mask", mask, nq, p.maskW); err != nil {
+			return nil, nil, err
+		}
+	case *CompiledN:
+		if mode != 1 {
+			return nil, nil, fmt.Errorf("query: deterministic-mode product embeds a nondeterministic automaton")
+		}
+		p.maskW = c.w
+		want, ok := mul(nq, p.maskW)
+		if !ok || len(mask) != want {
+			return nil, nil, fmt.Errorf("query: product accept mask holds %d words, want %d (%d queries × %d)",
+				len(mask), want, nq, p.maskW)
+		}
+		if err := checkMaskBits("accept mask", mask, c.num, p.maskW); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, groupIdx, nil
+}
+
+// UnmarshalProduct decodes a standalone serialized product cluster, copying
+// every table out of data.
+func UnmarshalProduct(data []byte) (*CompiledProduct, error) {
+	r, err := format.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := decodeProduct(&decodeState{r: r})
+	return p, err
+}
+
 // Bundle is a named, ordered set of compiled queries over one shared
 // alphabet — the serializable unit a fleet of front-ends boots from.  Build
 // one with NewBundle/Add and Marshal it, or load one with UnmarshalBundle,
 // LoadBundleMapped, or OpenBundle and hand it to engine.RegisterBundle (or
 // serve.NewPoolFromBundle).
+//
+// A bundle may additionally be planned (plan.Bundle or NewPlannedBundle):
+// some queries then live inside product-compiled clusters instead of the
+// per-query slice — Query returns nil at those indices and Groups says
+// which product answers them — while names, order, and verdict semantics
+// stay exactly those of the unplanned bundle.
 type Bundle struct {
 	alpha   *alphabet.Alphabet
 	names   []string
-	queries []Query
+	queries []Query // nil at indices covered by a product group
+	groups  []ProductGroup
 	close   func() error
+}
+
+// ProductGroup is one planned cluster of a bundle: a product-compiled
+// automaton plus the bundle indices its mask bits demux to (Indices[j] is
+// the bundle slot answered by verdict bit j).
+type ProductGroup struct {
+	Indices []int32
+	Product *CompiledProduct
 }
 
 // NewBundle starts an empty bundle over the given alphabet.
@@ -656,21 +803,92 @@ func (b *Bundle) Names() []string { return append([]string(nil), b.names...) }
 // Name returns the i-th query's display name.
 func (b *Bundle) Name(i int) string { return b.names[i] }
 
-// Query returns the i-th compiled query.
+// Query returns the i-th compiled query, or nil when index i is answered by
+// a product group of a planned bundle (see Groups).
 func (b *Bundle) Query(i int) Query { return b.queries[i] }
+
+// Groups returns the product-compiled clusters of a planned bundle (empty
+// for an unplanned one).  The returned slice is shared; treat it as
+// read-only.
+func (b *Bundle) Groups() []ProductGroup { return b.groups }
+
+// NewPlannedBundle assembles a planned bundle over the same alphabet,
+// names, and order as src: each cluster (a list of src query indices,
+// paired positionally with its product) is answered by the product's
+// verdict mask, every other query stays fanned out.  Clusters must
+// partition a subset of src's indices — in range, disjoint, sized to the
+// product's query count — and every product must share src's alphabet; src
+// itself must be unplanned.
+func NewPlannedBundle(src *Bundle, clusters [][]int, products []*CompiledProduct) (*Bundle, error) {
+	if len(src.groups) != 0 {
+		return nil, fmt.Errorf("query: bundle is already planned (%d groups)", len(src.groups))
+	}
+	if len(clusters) != len(products) {
+		return nil, fmt.Errorf("query: %d clusters paired with %d products", len(clusters), len(products))
+	}
+	b := &Bundle{
+		alpha:   src.alpha,
+		names:   append([]string(nil), src.names...),
+		queries: append([]Query(nil), src.queries...),
+	}
+	grouped := make([]bool, len(b.queries))
+	for gi, cluster := range clusters {
+		p := products[gi]
+		if p == nil {
+			return nil, fmt.Errorf("query: cluster %d has no product", gi)
+		}
+		if p.QueryCount() != len(cluster) {
+			return nil, fmt.Errorf("query: cluster %d holds %d queries, product answers %d",
+				gi, len(cluster), p.QueryCount())
+		}
+		if !b.alpha.Equal(p.Alphabet()) {
+			return nil, fmt.Errorf("query: cluster %d product uses alphabet %v, bundle is over %v",
+				gi, p.Alphabet(), b.alpha)
+		}
+		g := ProductGroup{Indices: make([]int32, len(cluster)), Product: p}
+		for j, idx := range cluster {
+			if idx < 0 || idx >= len(b.queries) {
+				return nil, fmt.Errorf("query: cluster %d index %d outside the %d queries", gi, idx, len(b.queries))
+			}
+			if grouped[idx] {
+				return nil, fmt.Errorf("query: query %q appears in two clusters", b.names[idx])
+			}
+			grouped[idx] = true
+			g.Indices[j] = int32(idx)
+			b.queries[idx] = nil
+		}
+		b.groups = append(b.groups, g)
+	}
+	return b, nil
+}
 
 // Marshal serializes the bundle: the shared alphabet once, the names, and
 // one embedded container per query (each without its own alphabet section).
+// A planned bundle writes its solo-index section, one embedded container
+// per solo query (paired positionally with the solo indices), and one
+// embedded KindProduct container per cluster, each carrying its demux
+// indices; an unplanned bundle's layout is byte-identical to what it was
+// before planning existed.
 func (b *Bundle) Marshal() []byte {
 	w := format.NewWriter(format.KindBundle)
 	w.Strings(secAlphabet, b.alpha.Symbols())
 	w.Strings(secNames, b.names)
-	for _, q := range b.queries {
+	var solo []int32
+	for i, q := range b.queries {
+		if q != nil && len(b.groups) > 0 {
+			solo = append(solo, int32(i))
+		}
 		switch c := q.(type) {
 		case *Compiled:
 			w.Bytes(secQuery, c.encode(false))
 		case *CompiledN:
 			w.Bytes(secQuery, c.encode(false))
+		}
+	}
+	if len(b.groups) > 0 {
+		w.Int32s(secSolo, solo)
+		for _, g := range b.groups {
+			w.Bytes(secProduct, g.Product.encode(false, g.Indices))
 		}
 	}
 	return w.Finish()
@@ -722,16 +940,79 @@ func decodeBundle(data []byte, zeroCopy bool) (*Bundle, error) {
 		return nil, fmt.Errorf("query: bundle names repeat %q", dup)
 	}
 	blobs := r.Sections(secQuery)
-	if len(blobs) != len(names) {
-		return nil, fmt.Errorf("query: bundle names %d queries but embeds %d", len(names), len(blobs))
-	}
 	b := &Bundle{alpha: alpha, names: names}
+	soloSec, planned := r.Section(secSolo)
+	if !planned {
+		// Unplanned layout: one embedded query per name, in order.
+		if len(blobs) != len(names) {
+			return nil, fmt.Errorf("query: bundle names %d queries but embeds %d", len(names), len(blobs))
+		}
+		for i, blob := range blobs {
+			q, err := decodeQuery(blob, alpha, zeroCopy)
+			if err != nil {
+				return nil, fmt.Errorf("query: bundle query %q: %w", names[i], err)
+			}
+			b.queries = append(b.queries, q)
+		}
+		return b, nil
+	}
+
+	// Planned layout: the solo-index section pairs positionally with the
+	// embedded query blobs, product containers carry their own demux
+	// indices, and together they must cover every name exactly once — the
+	// demux-table total nwtool vet re-checks.
+	solo, err := format.Int32s(soloSec, false)
+	if err != nil {
+		return nil, fmt.Errorf("query: bundle solo indices: %w", err)
+	}
+	if len(blobs) != len(solo) {
+		return nil, fmt.Errorf("query: bundle lists %d solo queries but embeds %d", len(solo), len(blobs))
+	}
+	b.queries = make([]Query, len(names))
+	covered := make([]bool, len(names))
+	claim := func(idx int32, what string) error {
+		if idx < 0 || int(idx) >= len(names) {
+			return fmt.Errorf("query: bundle %s index %d outside the %d queries", what, idx, len(names))
+		}
+		if covered[idx] {
+			return fmt.Errorf("query: bundle covers query %q twice", names[idx])
+		}
+		covered[idx] = true
+		return nil
+	}
 	for i, blob := range blobs {
+		if err := claim(solo[i], "solo"); err != nil {
+			return nil, err
+		}
 		q, err := decodeQuery(blob, alpha, zeroCopy)
 		if err != nil {
-			return nil, fmt.Errorf("query: bundle query %q: %w", names[i], err)
+			return nil, fmt.Errorf("query: bundle query %q: %w", names[solo[i]], err)
 		}
-		b.queries = append(b.queries, q)
+		b.queries[solo[i]] = q
+	}
+	for gi, blob := range r.Sections(secProduct) {
+		pr, err := format.NewReader(blob)
+		if err != nil {
+			return nil, fmt.Errorf("query: bundle product %d: %w", gi, err)
+		}
+		p, idx, err := decodeProduct(&decodeState{r: pr, alpha: alpha, zeroCopy: zeroCopy})
+		if err != nil {
+			return nil, fmt.Errorf("query: bundle product %d: %w", gi, err)
+		}
+		if idx == nil {
+			return nil, fmt.Errorf("query: bundle product %d has no demux indices", gi)
+		}
+		for _, i := range idx {
+			if err := claim(i, "product"); err != nil {
+				return nil, err
+			}
+		}
+		b.groups = append(b.groups, ProductGroup{Indices: idx, Product: p})
+	}
+	for i, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("query: bundle covers neither solo nor product for query %q", names[i])
+		}
 	}
 	return b, nil
 }

@@ -62,7 +62,8 @@ type VetIssue struct {
 type VetQueryStats struct {
 	// Name is the query's display name in the bundle ("query" standalone).
 	Name string
-	// Form is "dnwa" or "nnwa".
+	// Form is "dnwa" or "nnwa", prefixed with "product-" when the automaton
+	// is the shared interior of a product-compiled cluster.
 	Form string
 	// States is the exact state count, dead sink included for DNWAs.
 	States int
@@ -162,22 +163,71 @@ func VetBytes(data []byte) (*VetReport, error) {
 		rep := &VetReport{}
 		vetQuery(rep, "query", q)
 		return rep, nil
+	case format.KindProduct:
+		p, err := UnmarshalProduct(data)
+		if err != nil {
+			return nil, err
+		}
+		rep := &VetReport{}
+		vetProduct(rep, "product", p, -1)
+		return rep, nil
 	default:
 		return nil, fmt.Errorf("query: container kind %d is not a vettable artifact", r.Kind())
 	}
 }
 
 // VetBundle verifies an in-memory bundle: per-query structural and
-// cross-representation checks, alphabet agreement across the bundle, and the
-// reachability/coaccessibility analysis.
+// cross-representation checks, alphabet agreement across the bundle, the
+// reachability/coaccessibility analysis, and — for a planned bundle — the
+// product-group demux invariants (every name covered exactly once, mask
+// width matching the group's query count).
 func VetBundle(b *Bundle) *VetReport {
 	rep := &VetReport{}
 	if b.Len() == 0 {
 		rep.add("", VetWarning, "bundle holds no queries")
 	}
+	grouped := make([]int, b.Len()) // 0 = solo, g+1 = covered by group g
+	for gi, g := range b.Groups() {
+		gname := fmt.Sprintf("group %d", gi+1)
+		sound := true
+		for _, idx := range g.Indices {
+			if idx < 0 || int(idx) >= b.Len() {
+				rep.add(gname, VetError, fmt.Sprintf("demux index %d outside the %d bundle queries", idx, b.Len()))
+				sound = false
+				continue
+			}
+			if prev := grouped[idx]; prev != 0 {
+				rep.add(gname, VetError, fmt.Sprintf("query %q is already demuxed by group %d", b.Name(int(idx)), prev))
+				sound = false
+				continue
+			}
+			grouped[idx] = gi + 1
+			if b.Query(int(idx)) != nil {
+				rep.add(gname, VetError, fmt.Sprintf("query %q has both a solo runner and a product demux slot", b.Name(int(idx))))
+			}
+		}
+		if g.Product == nil {
+			rep.add(gname, VetError, "group has no product automaton")
+			continue
+		}
+		if !b.Alphabet().Equal(g.Product.Alphabet()) {
+			rep.add(gname, VetError, fmt.Sprintf("product alphabet %v disagrees with the bundle alphabet %v",
+				g.Product.Alphabet().Symbols(), b.Alphabet().Symbols()))
+			continue
+		}
+		if sound {
+			vetProduct(rep, gname, g.Product, len(g.Indices))
+		}
+	}
 	for i := 0; i < b.Len(); i++ {
 		name := b.Name(i)
 		q := b.Query(i)
+		if q == nil {
+			if grouped[i] == 0 {
+				rep.add(name, VetError, "query is covered by neither a solo runner nor a product group")
+			}
+			continue
+		}
 		if !b.Alphabet().Equal(q.Alphabet()) {
 			rep.add(name, VetError, fmt.Sprintf("query alphabet %v disagrees with the bundle alphabet %v",
 				q.Alphabet().Symbols(), b.Alphabet().Symbols()))
@@ -186,6 +236,82 @@ func VetBundle(b *Bundle) *VetReport {
 		vetQuery(rep, name, q)
 	}
 	return rep
+}
+
+// vetProduct verifies a product-compiled cluster: the accept-bitmask slab
+// dimensions and bit ranges, the cross-representation agreement between the
+// mask and the shared automaton's accept table, and — through vetQuery — the
+// structural and semantic invariants of the automaton itself, reported under
+// the "product-dnwa"/"product-nnwa" forms.  wantMembers is the demux width
+// the containing group expects (-1 for a standalone artifact).
+func vetProduct(rep *VetReport, name string, p *CompiledProduct, wantMembers int) {
+	bad := func(msg string, args ...any) {
+		rep.add(name, VetError, fmt.Sprintf(msg, args...))
+	}
+	if p.nq < 1 || p.nq > maxStates {
+		bad("product answers %d queries, outside [1, %d]", p.nq, maxStates)
+		return
+	}
+	if wantMembers >= 0 && p.nq != wantMembers {
+		bad("product answers %d queries, its group demuxes %d", p.nq, wantMembers)
+		return
+	}
+	switch c := p.inner.(type) {
+	case *Compiled:
+		if p.maskW != bitset.Words(p.nq) {
+			bad("mask rows hold %d words, %d queries need %d", p.maskW, p.nq, bitset.Words(p.nq))
+			return
+		}
+		cells, ok := mul(c.num, p.maskW)
+		if !ok || len(p.mask) != cells {
+			bad("accept mask holds %d words, want %d×%d", len(p.mask), c.num, p.maskW)
+			return
+		}
+		if err := checkMaskBits("accept mask", p.mask, p.nq, p.maskW); err != nil {
+			bad("%v", err)
+			return
+		}
+		// Cross-representation: the shared automaton accepts exactly where
+		// some member does, i.e. where the state's mask row is non-empty.
+		for s := 0; s < c.num; s++ {
+			if c.accept[s] != bitset.Slab(p.mask, s, p.maskW).Any() {
+				bad("state %d acceptance disagrees with its accept-mask row", s)
+				return
+			}
+		}
+	case *CompiledN:
+		if p.maskW != c.w {
+			bad("mask rows hold %d words, the union's %d states need %d", p.maskW, c.num, c.w)
+			return
+		}
+		cells, ok := mul(p.nq, p.maskW)
+		if !ok || len(p.mask) != cells {
+			bad("accept mask holds %d words, want %d×%d", len(p.mask), p.nq, p.maskW)
+			return
+		}
+		if err := checkMaskBits("accept mask", p.mask, c.num, p.maskW); err != nil {
+			bad("%v", err)
+			return
+		}
+		// Cross-representation: the union's accept row is exactly the union
+		// of the per-member verdict rows.
+		union := bitset.New(c.num)
+		for q := 0; q < p.nq; q++ {
+			union.Or(bitset.Slab(p.mask, q, p.maskW))
+		}
+		if !union.Equal(c.acceptRow) {
+			bad("the union of the member verdict rows disagrees with the accept row")
+			return
+		}
+	default:
+		bad("cannot vet a %T product interior", p.inner)
+		return
+	}
+	before := len(rep.Queries)
+	vetQuery(rep, name, p.inner)
+	for i := before; i < len(rep.Queries); i++ {
+		rep.Queries[i].Form = "product-" + rep.Queries[i].Form
+	}
 }
 
 // vetQuery dispatches one compiled query through the structural and semantic

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/nwa"
 )
 
@@ -188,5 +189,115 @@ func TestVetComplementedQueryWarns(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), "is accepting") {
 		t.Errorf("missing accepting-dead-state warning:\n%s", rep)
+	}
+}
+
+// TestVetPlannedBundleClean pins the happy path for product groups: a
+// planner-shaped bundle vets with zero errors, and the group's automaton is
+// reported under the product- form.
+func TestVetPlannedBundleClean(t *testing.T) {
+	rep := VetBundle(plannedGoldenBundle(t))
+	if rep.Errors() != 0 {
+		t.Errorf("planned golden bundle should vet without errors, got:\n%s", rep)
+	}
+	var forms []string
+	for _, s := range rep.Queries {
+		forms = append(forms, s.Form)
+	}
+	if len(forms) != 2 || forms[0] != "product-dnwa" || forms[1] != "nnwa" {
+		t.Errorf("forms = %v, want [product-dnwa nnwa]", forms)
+	}
+
+	// The standalone product artifact path through VetBytes.
+	members, _ := detProductMembers()
+	p, err := CompileProduct(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = VetBytes(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Errorf("standalone product should vet without errors, got:\n%s", rep)
+	}
+	if len(rep.Queries) != 1 || rep.Queries[0].Form != "product-dnwa" {
+		t.Errorf("stats = %+v, want one product-dnwa entry", rep.Queries)
+	}
+}
+
+// TestVetCatchesProductMaskDisagreement corrupts the accept bitmask of an
+// in-memory product so both representations stay individually valid: only
+// the cross-representation vet can see the automaton accepting where no
+// member's mask bit is set.
+func TestVetCatchesProductMaskDisagreement(t *testing.T) {
+	planned := plannedGoldenBundle(t)
+	p := planned.Groups()[0].Product
+	c := p.inner.(*Compiled)
+	var hit int = -1
+	for s := 0; s < c.num; s++ {
+		if c.accept[s] && bitset.Slab(p.mask, s, p.maskW).Any() {
+			hit = s
+			break
+		}
+	}
+	if hit < 0 {
+		t.Fatal("fixture changed: the product has no accepting state")
+	}
+	row := bitset.Slab(p.mask, hit, p.maskW)
+	row.ForEach(func(j int) { row.Unset(j) })
+	rep := VetBundle(planned)
+	if rep.Errors() == 0 {
+		t.Fatalf("cleared accept-mask row was not caught:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "accept-mask row") {
+		t.Errorf("report does not name the mask disagreement:\n%s", rep)
+	}
+}
+
+// TestVetCatchesGroupDemuxViolations builds planned bundles with broken
+// demux tables directly (the constructors refuse them) and checks each is
+// reported.
+func TestVetCatchesGroupDemuxViolations(t *testing.T) {
+	fresh := func() (*Bundle, *CompiledProduct) {
+		b := plannedGoldenBundle(t)
+		return b, b.Groups()[0].Product
+	}
+
+	// An index outside the bundle.
+	b, _ := fresh()
+	b.groups[0].Indices[1] = 9
+	if rep := VetBundle(b); rep.Errors() == 0 {
+		t.Error("out-of-range demux index was not caught")
+	}
+
+	// The same query demuxed twice.
+	b, _ = fresh()
+	b.groups[0].Indices[1] = 0
+	if rep := VetBundle(b); rep.Errors() == 0 {
+		t.Error("duplicate demux index was not caught")
+	}
+
+	// A grouped query that also kept its solo runner.
+	b, _ = fresh()
+	b.queries[0] = Compile(WellFormed(goldenAlphabet()))
+	if rep := VetBundle(b); rep.Errors() == 0 {
+		t.Error("solo runner on a grouped query was not caught")
+	}
+
+	// A name covered by nothing at all.
+	b, _ = fresh()
+	b.groups = nil
+	if rep := VetBundle(b); rep.Errors() == 0 {
+		t.Error("uncovered query was not caught")
+	}
+
+	// A group whose product demuxes a different number of queries.
+	b, p := fresh()
+	b.groups[0].Indices = b.groups[0].Indices[:1]
+	b.queries[1] = Compile(PathQuery(goldenAlphabet(), "a", "b"))
+	_ = p
+	if rep := VetBundle(b); rep.Errors() == 0 {
+		t.Error("demux width mismatch was not caught")
 	}
 }

@@ -1,6 +1,6 @@
 // Command benchcmp is the benchmark-regression gate: it compares two
 // directories of BENCH_<ID>.json files (the machine-readable experiment
-// tables cmd/nwbench -json writes for experiments.ArtifactIDs(), E21–E25)
+// tables cmd/nwbench -json writes for experiments.ArtifactIDs(), E21–E28)
 // and fails when the fresh run regresses past a threshold against the
 // previous one.
 //

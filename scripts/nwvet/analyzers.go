@@ -277,6 +277,44 @@ func analyzeDSLConfinement(u *unit, confined bool, report reportFunc) {
 	}
 }
 
+// planImportPath is the query planner's import path, confined out of the
+// serving stack by analyzePlanConfinement.
+const planImportPath = "repro/internal/query/plan"
+
+// analyzePlanConfinement flags construction of product automata from the
+// serving-stack packages (engine, serve, server): importing the planner
+// (repro/internal/query/plan) or calling query.CompileProduct there.
+// Product compilation is a load-time planning decision — it can blow up
+// exponentially in the member count (the Section 3.2 product cost), so the
+// serving stack consumes planned bundles through the bundle API (Groups,
+// ProductRunner) and never builds products itself.  Test files are exempt
+// (loadUnits never parses them) — differential tests legitimately plan
+// bundles next to the stack under test.
+func analyzePlanConfinement(u *unit, confined bool, report reportFunc) {
+	if !confined {
+		return
+	}
+	for _, file := range u.files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == planImportPath {
+				report("%s: plan-confinement: serving stack imports %s (plan at load time, serve planned bundles through the bundle API)",
+					u.position(imp), planImportPath)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "query" && sel.Sel.Name == "CompileProduct" {
+				report("%s: plan-confinement: serving stack calls query.CompileProduct (product automata are built by the planner at load time)",
+					u.position(sel))
+			}
+			return true
+		})
+	}
+}
+
 // guardComment extracts the mutex name from a "guarded by <mu>" field
 // comment.
 var guardComment = regexp.MustCompile(`guarded by (\w+)`)

@@ -19,6 +19,12 @@
 //     internal/serve, internal/server) may not import the query DSL
 //     compiler (repro/internal/query/dsl) — query text is parsed and
 //     compiled at load time, the stack serves compiled automata.
+//   - plan-confinement: the same serving packages may not construct
+//     product automata — neither importing the query planner
+//     (repro/internal/query/plan) nor calling query.CompileProduct.
+//     Product compilation is a load-time planning decision with a
+//     potentially exponential state cost; the serving stack consumes
+//     planned bundles through the bundle API.
 //   - locked-field: struct fields documented "guarded by mu" may only be
 //     touched by methods that lock that mutex (or are annotated
 //     //nwvet:locked as externally synchronized, e.g. the owning shard
@@ -71,6 +77,7 @@ var (
 	unsafeAllowedDirs   = []string{"internal/query/format"}
 	errorDisciplineDirs = []string{"internal/query", "internal/query/format"}
 	dslConfinedDirs     = []string{"internal/engine", "internal/serve", "internal/server"}
+	planConfinedDirs    = []string{"internal/engine", "internal/serve", "internal/server"}
 )
 
 func main() {
@@ -114,6 +121,7 @@ func runNwvet(root string) ([]string, error) {
 		analyzeHotpathAlloc(u, report)
 		analyzeUnsafeConfinement(u, dirIn(u.dir, unsafeAllowedDirs), report)
 		analyzeDSLConfinement(u, dirIn(u.dir, dslConfinedDirs), report)
+		analyzePlanConfinement(u, dirIn(u.dir, planConfinedDirs), report)
 		analyzeLockedFields(u, report)
 		if dirIn(u.dir, errorDisciplineDirs) {
 			analyzeErrorDiscipline(u, report)

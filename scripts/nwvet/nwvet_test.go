@@ -111,6 +111,24 @@ func TestDSLConfinementSeededViolation(t *testing.T) {
 	}
 }
 
+func TestPlanConfinementSeededViolation(t *testing.T) {
+	got := collect(t, "testdata/plan_bad", func(u *unit, r reportFunc) {
+		analyzePlanConfinement(u, true, r)
+	})
+	wantFindings(t, got, []string{
+		"plan-confinement: serving stack imports repro/internal/query/plan",
+		"plan-confinement: serving stack calls query.CompileProduct",
+	})
+
+	// The same file outside the confined directories is fine.
+	outside := collect(t, "testdata/plan_bad", func(u *unit, r reportFunc) {
+		analyzePlanConfinement(u, false, r)
+	})
+	if len(outside) != 0 {
+		t.Errorf("unconfined directory still flagged:\n%s", strings.Join(outside, "\n"))
+	}
+}
+
 func TestLockedFieldSeededViolation(t *testing.T) {
 	got := collect(t, "testdata/locked_bad", analyzeLockedFields)
 	wantFindings(t, got, []string{
@@ -132,6 +150,7 @@ func TestCleanFixture(t *testing.T) {
 		analyzeHotpathAlloc(u, r)
 		analyzeUnsafeConfinement(u, false, r)
 		analyzeDSLConfinement(u, true, r)
+		analyzePlanConfinement(u, true, r)
 		analyzeLockedFields(u, r)
 		analyzeErrorDiscipline(u, r)
 		checkDocComments(u, r)
