@@ -5,9 +5,21 @@
 //
 // Usage:
 //
-//	nwserved -queryset queries.nwq [-addr :8417]
+//	nwserved -queryset queries.nwq | -queryset-url http://peer:8417/v1/bundle
+//	         [-addr :8417] [-cache-dir DIR] [-pubkey NAME.pub]
 //	         [-shards n] [-queue n] [-affinity hash|none]
 //	         [-max-body bytes]
+//
+// Exactly one of -queryset (a local bundle file) and -queryset-url (a
+// peer's GET /v1/bundle endpoint) must be given.  With -queryset-url the
+// daemon self-provisions: every boot and reload fetches the peer's
+// current bundle through a content-hash-keyed on-disk cache (-cache-dir,
+// default nwq-cache), so a restart with a warm cache boots even when the
+// peer is down, and an unchanged bundle is one conditional request
+// answered 304.  With -pubkey every loaded bundle — local file or fetched
+// — must carry a valid detached ed25519 signature (nwtool sign); a bad
+// hash or signature fails the reload and the old generation keeps
+// serving.  See docs/DISTRIBUTION.md for the fleet flow.
 //
 // Endpoints:
 //
@@ -24,8 +36,15 @@
 //	                            line's doc through the named adapter); one
 //	                            verdict line per input line, in input
 //	                            order, under the pool's backpressure.
-//	POST /v1/reload             reload the bundle file and swap pools with
-//	                            zero downtime (SIGHUP does the same).
+//	POST /v1/reload             reload the bundle file (or re-fetch the
+//	                            -queryset-url) and swap pools with zero
+//	                            downtime (SIGHUP does the same); the swap
+//	                            happens only after the new bundle's hash
+//	                            and signature verify.
+//	GET  /v1/bundle             the active bundle's raw bytes (ETag =
+//	                            content hash; If-None-Match → 304) — what
+//	                            peers point -queryset-url at.
+//	GET  /v1/bundle.sig         its detached signature (404 if unsigned).
 //	GET  /v1/status             active bundle identity (the schema `nwtool
 //	                            bundle -json` prints), pool shape, counters.
 //	GET  /metrics               Prometheus text exposition.
@@ -49,34 +68,54 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bundlecache"
 	"repro/internal/serve"
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8417", "listen address")
-	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile` (required)")
+	queryset := flag.String("queryset", "", "serialized query bundle from `nwtool compile`")
+	querysetURL := flag.String("queryset-url", "", "peer GET /v1/bundle endpoint to self-provision the bundle from (instead of -queryset)")
+	cacheDir := flag.String("cache-dir", "nwq-cache", "with -queryset-url: content-hash-keyed on-disk bundle cache directory")
+	pubkeyPath := flag.String("pubkey", "", "NWP1 public key file (nwtool keygen); when set, every loaded bundle must carry a valid detached signature")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of pool shards (worker sessions)")
 	queue := flag.Int("queue", 64, "bounded queue depth per shard (backpressure)")
 	affinityFlag := flag.String("affinity", "hash", "document-to-shard routing: hash (by document id) or none (round-robin)")
 	maxBody := flag.Int64("max-body", 8<<20, "maximum single-document body size in bytes")
 	flag.Parse()
 
-	if *queryset == "" {
-		fatal(errors.New("-queryset is required (compile one with `nwtool compile`)"))
+	if (*queryset == "") == (*querysetURL == "") {
+		fatal(errors.New("exactly one of -queryset (compile one with `nwtool compile`) and -queryset-url is required"))
 	}
 	affinity, err := serve.ParseAffinity(*affinityFlag)
 	if err != nil {
 		fatal(err)
 	}
-
-	srv, err := server.New(server.Config{
+	var pubkey []byte
+	if *pubkeyPath != "" {
+		if pubkey, err = os.ReadFile(*pubkeyPath); err != nil {
+			fatal(err)
+		}
+	}
+	cfg := server.Config{
 		BundlePath:   *queryset,
+		PublicKey:    pubkey,
 		Shards:       *shards,
 		QueueDepth:   *queue,
 		Affinity:     affinity,
 		MaxBodyBytes: *maxBody,
-	})
+	}
+	if *querysetURL != "" {
+		cache, err := bundlecache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		src := bundlecache.NewSource(*querysetURL, cache, bundlecache.Options{PublicKey: pubkey})
+		cfg.Source = src.Fetch
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -23,8 +23,25 @@
 //	nwtool bundle [-json] FILE      describe a serialized bundle (with -json,
 //	                                the machine-readable schema /v1/status of
 //	                                nwserved shares), product groups included
-//	nwtool vet FILE                 statically verify a compiled artifact
-//	                                (bundle, standalone query, or product)
+//	nwtool vet [-pubkey FILE [-sig FILE]] FILE
+//	                                statically verify a compiled artifact
+//	                                (bundle, standalone query, or product);
+//	                                with -pubkey, also require a valid
+//	                                detached signature (FILE.sig by default)
+//	nwtool keygen -o NAME           write an ed25519 keypair: NAME.key
+//	                                (private, keep on the compile host) and
+//	                                NAME.pub (public, ship to the fleet)
+//	nwtool sign -key FILE BUNDLE    write BUNDLE.sig, a detached NWS1
+//	                                envelope over the bundle's content hash
+//	nwtool verify -pubkey FILE [-sig FILE] BUNDLE
+//	                                check a bundle's content hash and
+//	                                detached signature; exits 1 on any
+//	                                mismatch
+//
+// keygen/sign/verify implement the distribution flow of
+// docs/DISTRIBUTION.md: sign once on the compile host, verify on every
+// worker (and automatically in nwserved -pubkey) before a bundle is
+// mapped.
 //
 // The compile subcommand builds exactly the query set nwquery and nwserve
 // build from the same -labels/-order/-path flags (well-formedness always,
@@ -51,13 +68,20 @@ import (
 	"repro/internal/nestedword"
 	"repro/internal/query"
 	"repro/internal/query/dsl"
+	"repro/internal/query/format"
 	"repro/internal/query/plan"
 	"repro/internal/tree"
 )
 
 func main() {
-	if len(os.Args) < 3 {
+	if len(os.Args) < 2 {
 		usage()
+	}
+	switch os.Args[1] {
+	case "word", "doc", "tree", "query", "vet", "sign", "verify":
+		if len(os.Args) < 3 {
+			usage()
+		}
 	}
 	switch os.Args[1] {
 	case "word":
@@ -92,7 +116,13 @@ func main() {
 	case "bundle":
 		describeBundle(os.Args[2:])
 	case "vet":
-		vetArtifact(os.Args[2])
+		vetArtifact(os.Args[2:])
+	case "keygen":
+		keygen(os.Args[2:])
+	case "sign":
+		signBundle(os.Args[2:])
+	case "verify":
+		verifyBundle(os.Args[2:])
 	default:
 		usage()
 	}
@@ -195,15 +225,108 @@ func describeBundle(args []string) {
 // vetArtifact runs the automaton-level verifier over a serialized artifact.
 // The file is read (not mapped) so that a hostile artifact is vetted from a
 // private copy, and decode failures reject it before any table is indexed.
-func vetArtifact(path string) {
+// With -pubkey the artifact must additionally carry a valid detached
+// signature (its sibling .sig file unless -sig names one).
+func vetArtifact(args []string) {
+	fs := flag.NewFlagSet("nwtool vet", flag.ExitOnError)
+	pubkey := fs.String("pubkey", "", "NWP1 public key file; when set, the artifact's detached signature must verify")
+	sigPath := fs.String("sig", "", "detached signature file (default: ARTIFACT.sig)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
 	data, err := os.ReadFile(path)
 	exitOn(err)
 	rep, err := query.VetBytes(data)
 	exitOn(err)
 	fmt.Print(rep)
+	if *pubkey != "" {
+		pub, err := os.ReadFile(*pubkey)
+		exitOn(err)
+		sig, err := os.ReadFile(sigFile(*sigPath, path))
+		exitOn(err)
+		if err := format.Verify(pub, sig, data); err != nil {
+			exitOn(err)
+		}
+		fmt.Println("signature: ok")
+	}
 	if rep.Errors() > 0 {
 		os.Exit(1)
 	}
+}
+
+// sigFile resolves the detached-signature path: an explicit -sig value, or
+// the artifact's sibling .sig file.
+func sigFile(explicit, artifact string) string {
+	if explicit != "" {
+		return explicit
+	}
+	return artifact + ".sig"
+}
+
+// keygen writes a fresh ed25519 keypair as NAME.key (NWK1 private seed)
+// and NAME.pub (NWP1 public key).
+func keygen(args []string) {
+	fs := flag.NewFlagSet("nwtool keygen", flag.ExitOnError)
+	out := fs.String("o", "bundle-signing", "output name: NAME.key and NAME.pub are written")
+	fs.Parse(args)
+	priv, pub, err := format.GenerateKey()
+	exitOn(err)
+	exitOn(os.WriteFile(*out+".key", priv, 0o600))
+	exitOn(os.WriteFile(*out+".pub", pub, 0o644))
+	fmt.Printf("wrote %s.key (private — keep on the compile host) and %s.pub (ship to the fleet)\n", *out, *out)
+}
+
+// signBundle writes BUNDLE.sig, the detached NWS1 envelope over the
+// artifact's content hash.  The artifact must be a hashed (version 2)
+// container — everything Marshal emits since the hash was introduced.
+func signBundle(args []string) {
+	fs := flag.NewFlagSet("nwtool sign", flag.ExitOnError)
+	keyPath := fs.String("key", "", "NWK1 private key file (from nwtool keygen)")
+	sigPath := fs.String("o", "", "output signature file (default: BUNDLE.sig)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *keyPath == "" {
+		usage()
+	}
+	path := fs.Arg(0)
+	keyFile, err := os.ReadFile(*keyPath)
+	exitOn(err)
+	priv, err := format.ParsePrivateKey(keyFile)
+	exitOn(err)
+	data, err := os.ReadFile(path)
+	exitOn(err)
+	sig, err := format.Sign(priv, data)
+	exitOn(err)
+	out := sigFile(*sigPath, path)
+	exitOn(os.WriteFile(out, sig, 0o644))
+	sum, _, err := format.ContentHash(data)
+	exitOn(err)
+	fmt.Printf("wrote %s: ed25519 over content hash %x\n", out, sum)
+}
+
+// verifyBundle checks an artifact's content hash and detached signature,
+// exiting 1 on any mismatch — the worker-side half of the sign/verify
+// round trip.
+func verifyBundle(args []string) {
+	fs := flag.NewFlagSet("nwtool verify", flag.ExitOnError)
+	pubkey := fs.String("pubkey", "", "NWP1 public key file (from nwtool keygen)")
+	sigPath := fs.String("sig", "", "detached signature file (default: BUNDLE.sig)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *pubkey == "" {
+		usage()
+	}
+	path := fs.Arg(0)
+	pub, err := os.ReadFile(*pubkey)
+	exitOn(err)
+	sig, err := os.ReadFile(sigFile(*sigPath, path))
+	exitOn(err)
+	data, err := os.ReadFile(path)
+	exitOn(err)
+	exitOn(format.Verify(pub, sig, data))
+	sum, _, err := format.ContentHash(data)
+	exitOn(err)
+	fmt.Printf("ok: %s verifies (content hash %x)\n", path, sum)
 }
 
 func describe(n *nestedword.NestedWord) {
@@ -229,7 +352,10 @@ func exitOn(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query|compile|bundle|vet ARG [LABEL...]")
+	fmt.Fprintln(os.Stderr, "usage: nwtool word|doc|tree|query|compile|bundle|vet|keygen|sign|verify ARG [LABEL...]")
 	fmt.Fprintln(os.Stderr, "       nwtool compile -labels l1,l2 [-order ...] [-path ...] [-dsl QUERIES] -o FILE")
+	fmt.Fprintln(os.Stderr, "       nwtool keygen -o NAME")
+	fmt.Fprintln(os.Stderr, "       nwtool sign -key NAME.key BUNDLE")
+	fmt.Fprintln(os.Stderr, "       nwtool verify -pubkey NAME.pub [-sig FILE] BUNDLE")
 	os.Exit(2)
 }

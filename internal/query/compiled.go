@@ -103,6 +103,11 @@ type Compiled struct {
 	dense   bool
 	returnT []int32     // dense form: num*num*syms, index (lin*num+hier)*syms+sym
 	sparseR sparseTable // sparse form: defined return transitions only
+
+	// fmtVersion is the container version this automaton was decoded from
+	// (0 for a freshly compiled one).  Marshal re-emits it, so a decoded
+	// container round-trips byte-identically across format versions.
+	fmtVersion uint32
 }
 
 // Compile flattens a deterministic NWA into its compiled form.  The source

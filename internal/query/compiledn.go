@@ -60,6 +60,10 @@ type CompiledN struct {
 	acceptRow bitset.Row
 	intMask   []uint64 // syms*num rows: internal successors of q on sym
 	callMask  []uint64 // syms*num rows: linear call successors of q on sym
+
+	// fmtVersion is the container version this automaton was decoded from
+	// (0 for a freshly compiled one); Marshal re-emits it.
+	fmtVersion uint32
 }
 
 // useMatrixRunner routes NewRunner to the []bool matrix runner instead of

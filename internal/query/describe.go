@@ -1,5 +1,7 @@
 package query
 
+import "encoding/hex"
+
 // QueryDesc is the machine-readable description of one compiled query in a
 // bundle: its bundle name, its runner kind ("dnwa" for deterministic
 // compiled tables, "nnwa" for the nondeterministic state-set runner,
@@ -35,6 +37,15 @@ type BundleDesc struct {
 	AlphabetSize int         `json:"alphabet_size"`
 	Queries      []QueryDesc `json:"queries"`
 	Groups       []GroupDesc `json:"groups,omitempty"`
+
+	// ContentHash is the hex content hash of the container the bundle was
+	// decoded from (empty for a bundle built in memory), and HashVerified
+	// says whether it is a verified VersionHashed header hash rather than
+	// the plain checksum of an unhashed v1 container.  It is the same value
+	// GET /v1/bundle serves as the ETag, so a dashboard can tell whether a
+	// server is running the artifact the compile host published.
+	ContentHash  string `json:"content_hash,omitempty"`
+	HashVerified bool   `json:"hash_verified,omitempty"`
 }
 
 // Describe summarizes a loaded bundle: shared alphabet, per query the name,
@@ -45,6 +56,10 @@ func Describe(b *Bundle) BundleDesc {
 		Alphabet:     b.Alphabet().Symbols(),
 		AlphabetSize: b.Alphabet().Size(),
 		Queries:      make([]QueryDesc, 0, b.Len()),
+	}
+	if sum, verified, ok := b.ContentHash(); ok {
+		d.ContentHash = hex.EncodeToString(sum[:])
+		d.HashVerified = verified
 	}
 	groupOf := map[int]int{} // bundle index → 1-based group number
 	for gi, g := range b.Groups() {

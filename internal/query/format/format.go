@@ -17,10 +17,22 @@
 // Every decoding entry point validates bounds before allocating, and all
 // allocation sizes are bounded by the input length, so arbitrary bytes fail
 // cleanly (an error, never a panic or an attacker-sized allocation).
+//
+// Two header versions exist (the byte-level reference is docs/FORMAT.md):
+// version 1 is the original 24-byte header, and version 2 appends a SHA-256
+// content hash over the rest of the container — the cache key and integrity
+// check that lets a fleet verify a bundle fetched from an untrusted cache
+// before mapping it.  NewReader verifies the hash of every version-2
+// container it opens and fails closed with ErrHashMismatch on any flipped
+// bit; version-1 containers still load but report themselves unhashed.  The
+// detached ed25519 signature envelope over the content hash lives in
+// sign.go.
 package format
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"unsafe"
 )
@@ -28,9 +40,22 @@ import (
 // Magic is the four-byte file signature opening every container.
 const Magic = "NWQ1"
 
-// Version is the container format version this package reads and writes.
-// Readers reject any other version, so the format cannot drift silently.
-const Version = 1
+// Container header versions.  Readers accept both and reject anything else,
+// so the format cannot drift silently; writers emit Version1 only for blobs
+// embedded inside an outer hashed container (the outer hash covers them).
+const (
+	// Version1 is the original unhashed 24-byte header.
+	Version1 = 1
+	// VersionHashed is the 56-byte header carrying a SHA-256 content hash
+	// over every other byte of the container.
+	VersionHashed = 2
+)
+
+// ErrHashMismatch is reported (wrapped) when a version-2 container's bytes
+// do not hash to the content hash its header declares — a torn write, a
+// corrupted cache entry, or a flipped bit in an mmap'd file.  Loads fail
+// closed: no table of a mismatching container is ever handed out.
+var ErrHashMismatch = errors.New("format: content hash mismatch")
 
 // Object kinds: what the container as a whole serializes.  The kind is part
 // of the header, so a loader knows how to interpret the sections before
@@ -47,10 +72,65 @@ const (
 	KindProduct = 4
 )
 
+// HashSize is the length in bytes of the content hash (SHA-256).  Callers
+// outside this package type hashes as [format.HashSize]byte so the choice of
+// hash function stays confined here.
+const HashSize = sha256.Size
+
 const (
 	headerSize   = 24 // magic + version + kind + flags + count + reserved
+	hashOffset   = 24 // where the VersionHashed header stores its SHA-256
+	headerSizeV2 = hashOffset + HashSize
 	dirEntrySize = 24 // tag + pad + offset + length
 )
+
+// headerLen returns the header length of the given version.  Both lengths
+// are multiples of 8, so the directory (and with it every aligned section
+// offset) starts aligned under either header.
+func headerLen(version uint32) int {
+	if version == VersionHashed {
+		return headerSizeV2
+	}
+	return headerSize
+}
+
+// contentSum hashes a container's bytes with the hash field itself zeroed —
+// the quantity a VersionHashed header stores.  The zeroed field keeps the
+// definition circular-free while still covering the magic, version, kind,
+// flags, directory, payloads, and padding: any other flipped bit changes
+// the sum.
+func contentSum(data []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(data[:hashOffset])
+	var zero [sha256.Size]byte
+	h.Write(zero[:])
+	h.Write(data[headerSizeV2:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// Checksum returns the plain SHA-256 of the raw bytes — the fallback cache
+// key for version-1 containers, which carry no verifiable content hash of
+// their own.
+func Checksum(data []byte) [sha256.Size]byte { return sha256.Sum256(data) }
+
+// ContentHash identifies a serialized container for caching and signing:
+// for a version-2 container it returns the header's content hash with
+// verified=true (the bytes are re-hashed and must match, so the value is
+// trustworthy), and for a version-1 container the plain checksum of the
+// bytes with verified=false.  Bytes that do not parse as a container at all
+// are an error.
+func ContentHash(data []byte) (sum [sha256.Size]byte, verified bool, err error) {
+	r, err := NewReader(data)
+	if err != nil {
+		return sum, false, err
+	}
+	if h, ok := r.ContentHash(); ok {
+		return h, true, nil
+	}
+	return Checksum(data), false, nil
+}
 
 // section is one pending payload inside a Writer.
 type section struct {
@@ -62,13 +142,21 @@ type section struct {
 // header and directory.  Sections are emitted in Add order; repeated tags
 // are allowed (the bundle encoding stores one section per query).
 type Writer struct {
-	kind  uint32
-	flags uint32
-	secs  []section
+	kind    uint32
+	version uint32
+	flags   uint32
+	secs    []section
 }
 
-// NewWriter starts a container of the given object kind.
-func NewWriter(kind uint32) *Writer { return &Writer{kind: kind} }
+// NewWriter starts a container of the given object kind.  The header
+// defaults to Version1; top-level artifacts call SetVersion(VersionHashed)
+// so Finish stamps the content hash, while blobs embedded inside a hashed
+// container stay at Version1 (the outer hash covers their bytes).
+func NewWriter(kind uint32) *Writer { return &Writer{kind: kind, version: Version1} }
+
+// SetVersion selects the header version Finish emits (Version1 or
+// VersionHashed).
+func (w *Writer) SetVersion(v uint32) { w.version = v }
 
 // SetFlags stores the 32 header flag bits (kind-specific).
 func (w *Writer) SetFlags(f uint32) { w.flags = f }
@@ -111,9 +199,12 @@ func align8(n int) int { return (n + 7) &^ 7 }
 
 // Finish lays the container out: header, directory, then every section at
 // an 8-byte-aligned offset.  The result is self-contained and deterministic
-// for a given Add sequence.
+// for a given Add sequence.  A VersionHashed writer additionally stamps the
+// SHA-256 content hash into the header as the final step, so the emitted
+// bytes always verify.
 func (w *Writer) Finish() []byte {
-	off := headerSize + dirEntrySize*len(w.secs) // a multiple of 8 by construction
+	hdr := headerLen(w.version)
+	off := hdr + dirEntrySize*len(w.secs) // a multiple of 8 by construction
 	offs := make([]int, len(w.secs))
 	total := off
 	for i, s := range w.secs {
@@ -123,16 +214,20 @@ func (w *Writer) Finish() []byte {
 	}
 	out := make([]byte, align8(total))
 	copy(out[0:4], Magic)
-	binary.LittleEndian.PutUint32(out[4:], Version)
+	binary.LittleEndian.PutUint32(out[4:], w.version)
 	binary.LittleEndian.PutUint32(out[8:], w.kind)
 	binary.LittleEndian.PutUint32(out[12:], w.flags)
 	binary.LittleEndian.PutUint32(out[16:], uint32(len(w.secs)))
 	for i, s := range w.secs {
-		e := out[headerSize+dirEntrySize*i:]
+		e := out[hdr+dirEntrySize*i:]
 		binary.LittleEndian.PutUint32(e, s.tag)
 		binary.LittleEndian.PutUint64(e[8:], uint64(offs[i]))
 		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
 		copy(out[offs[i]:], s.data)
+	}
+	if w.version == VersionHashed {
+		sum := contentSum(out)
+		copy(out[hashOffset:headerSizeV2], sum[:])
 	}
 	return out
 }
@@ -148,13 +243,18 @@ type Section struct {
 // payloads as subslices of the input — the input may be an mmap'd region,
 // and nothing here copies it.
 type Reader struct {
-	kind  uint32
-	flags uint32
-	secs  []Section
+	kind    uint32
+	version uint32
+	flags   uint32
+	hash    [sha256.Size]byte // meaningful only when version == VersionHashed
+	secs    []Section
 }
 
 // NewReader validates the header and the directory (magic, version, every
-// offset/length in bounds and 8-byte aligned) without touching any payload.
+// offset/length in bounds and 8-byte aligned) without touching any payload
+// — except that a VersionHashed container's bytes are re-hashed against the
+// header's content hash first, so a corrupted container is rejected with
+// ErrHashMismatch before a single section is handed out.
 func NewReader(data []byte) (*Reader, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("format: %d bytes is shorter than the %d-byte header", len(data), headerSize)
@@ -162,21 +262,33 @@ func NewReader(data []byte) (*Reader, error) {
 	if string(data[0:4]) != Magic {
 		return nil, fmt.Errorf("format: bad magic %q", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != Version {
-		return nil, fmt.Errorf("format: unsupported version %d (want %d)", v, Version)
-	}
 	r := &Reader{
-		kind:  binary.LittleEndian.Uint32(data[8:]),
-		flags: binary.LittleEndian.Uint32(data[12:]),
+		version: binary.LittleEndian.Uint32(data[4:]),
+		kind:    binary.LittleEndian.Uint32(data[8:]),
+		flags:   binary.LittleEndian.Uint32(data[12:]),
 	}
+	switch r.version {
+	case Version1:
+	case VersionHashed:
+		if len(data) < headerSizeV2 {
+			return nil, fmt.Errorf("format: %d bytes is shorter than the %d-byte hashed header", len(data), headerSizeV2)
+		}
+		copy(r.hash[:], data[hashOffset:headerSizeV2])
+		if sum := contentSum(data); sum != r.hash {
+			return nil, fmt.Errorf("%w: header declares %x, container hashes to %x", ErrHashMismatch, r.hash, sum)
+		}
+	default:
+		return nil, fmt.Errorf("format: unsupported version %d (want %d or %d)", r.version, Version1, VersionHashed)
+	}
+	hdr := headerLen(r.version)
 	count := binary.LittleEndian.Uint32(data[16:])
-	if uint64(count) > uint64(len(data)-headerSize)/dirEntrySize {
+	if uint64(count) > uint64(len(data)-hdr)/dirEntrySize {
 		return nil, fmt.Errorf("format: directory claims %d sections, input holds at most %d",
-			count, (len(data)-headerSize)/dirEntrySize)
+			count, (len(data)-hdr)/dirEntrySize)
 	}
 	r.secs = make([]Section, count)
 	for i := range r.secs {
-		e := data[headerSize+dirEntrySize*i:]
+		e := data[hdr+dirEntrySize*i:]
 		tag := binary.LittleEndian.Uint32(e)
 		off := binary.LittleEndian.Uint64(e[8:])
 		length := binary.LittleEndian.Uint64(e[16:])
@@ -194,6 +306,15 @@ func NewReader(data []byte) (*Reader, error) {
 
 // Kind returns the object kind from the header.
 func (r *Reader) Kind() uint32 { return r.kind }
+
+// Version reports the container format version (Version1 or VersionHashed).
+func (r *Reader) Version() uint32 { return r.version }
+
+// ContentHash returns the verified content hash from a VersionHashed
+// header. ok is false for Version1 containers, which carry no hash.
+func (r *Reader) ContentHash() ([sha256.Size]byte, bool) {
+	return r.hash, r.version == VersionHashed
+}
 
 // Flags returns the header flag bits.
 func (r *Reader) Flags() uint32 { return r.flags }

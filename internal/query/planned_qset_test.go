@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bitset"
+	"repro/internal/query/format"
 )
 
 // plannedGoldenBundle product-compiles the golden bundle's two deterministic
@@ -183,7 +184,7 @@ func TestPlannedBundleDecodeErrors(t *testing.T) {
 		t.Error("UnmarshalBundle accepted a bare product container")
 	}
 	// A bare product blob has no alphabet section of its own.
-	if _, err := UnmarshalProduct(p.encode(false, nil)); err == nil {
+	if _, err := UnmarshalProduct(p.encode(false, nil, format.VersionHashed)); err == nil {
 		t.Error("UnmarshalProduct accepted a product with no alphabet")
 	}
 }

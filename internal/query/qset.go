@@ -107,12 +107,25 @@ func boolBytes(v []bool) []byte {
 	return b
 }
 
-// Marshal serializes the compiled automaton, alphabet included, into a
-// standalone KindDNWA container.
-func (c *Compiled) Marshal() []byte { return c.encode(true) }
+// marshalVersion maps a decoded-from container version to the version
+// Marshal should emit: a freshly built object (0) serializes as
+// VersionHashed so every new artifact carries a content hash, while a
+// decoded object re-emits the version it came from so golden v1 bytes
+// round-trip byte-identically.
+func marshalVersion(v uint32) uint32 {
+	if v == 0 {
+		return format.VersionHashed
+	}
+	return v
+}
 
-func (c *Compiled) encode(includeAlpha bool) []byte {
+// Marshal serializes the compiled automaton, alphabet included, into a
+// standalone KindDNWA container (hashed, unless decoded from a v1 one).
+func (c *Compiled) Marshal() []byte { return c.encode(true, marshalVersion(c.fmtVersion)) }
+
+func (c *Compiled) encode(includeAlpha bool, version uint32) []byte {
 	w := format.NewWriter(format.KindDNWA)
+	w.SetVersion(version)
 	dense := uint64(0)
 	if c.dense {
 		dense = 1
@@ -135,11 +148,12 @@ func (c *Compiled) encode(includeAlpha bool) []byte {
 }
 
 // Marshal serializes the compiled automaton, alphabet included, into a
-// standalone KindNNWA container.
-func (c *CompiledN) Marshal() []byte { return c.encode(true) }
+// standalone KindNNWA container (hashed, unless decoded from a v1 one).
+func (c *CompiledN) Marshal() []byte { return c.encode(true, marshalVersion(c.fmtVersion)) }
 
-func (c *CompiledN) encode(includeAlpha bool) []byte {
+func (c *CompiledN) encode(includeAlpha bool, version uint32) []byte {
 	w := format.NewWriter(format.KindNNWA)
+	w.SetVersion(version)
 	dense := uint64(0)
 	if c.dense {
 		dense = 1
@@ -329,11 +343,12 @@ func decodeCompiled(d *decodeState) (*Compiled, error) {
 		return nil, fmt.Errorf("query: start %d / dead %d outside the %d states", meta[2], meta[3], num)
 	}
 	c := &Compiled{
-		num:   num,
-		syms:  syms,
-		start: int32(meta[2]),
-		dead:  int32(meta[3]),
-		dense: meta[4] == 1,
+		num:        num,
+		syms:       syms,
+		start:      int32(meta[2]),
+		dead:       int32(meta[3]),
+		dense:      meta[4] == 1,
+		fmtVersion: d.r.Version(),
 	}
 	if err := d.resolveAlphabet(syms); err != nil {
 		return nil, err
@@ -425,7 +440,7 @@ func decodeCompiledN(d *decodeState) (*CompiledN, error) {
 	if syms < 1 || syms > maxSymbols {
 		return nil, fmt.Errorf("query: %d symbol columns outside [1, %d]", meta[1], maxSymbols)
 	}
-	c := &CompiledN{num: num, syms: syms, dense: meta[2] == 1, w: bitset.Words(num)}
+	c := &CompiledN{num: num, syms: syms, dense: meta[2] == 1, w: bitset.Words(num), fmtVersion: d.r.Version()}
 	if err := d.resolveAlphabet(syms); err != nil {
 		return nil, err
 	}
@@ -619,10 +634,13 @@ func LoadQueryMapped(data []byte) (Query, error) { return decodeQuery(data, nil,
 // standalone KindProduct container: meta ({query count, joint-mode flag}),
 // the accept bitmask slab, and the shared automaton as an embedded
 // KindDNWA/KindNNWA blob.
-func (p *CompiledProduct) Marshal() []byte { return p.encode(true, nil) }
+func (p *CompiledProduct) Marshal() []byte {
+	return p.encode(true, nil, marshalVersion(p.fmtVersion))
+}
 
-func (p *CompiledProduct) encode(includeAlpha bool, groupIdx []int32) []byte {
+func (p *CompiledProduct) encode(includeAlpha bool, groupIdx []int32, version uint32) []byte {
 	w := format.NewWriter(format.KindProduct)
+	w.SetVersion(version)
 	mode := uint64(0)
 	if !p.Deterministic() {
 		mode = 1
@@ -637,9 +655,9 @@ func (p *CompiledProduct) encode(includeAlpha bool, groupIdx []int32) []byte {
 	w.Uint64s(secAcceptMask, p.mask)
 	switch c := p.inner.(type) {
 	case *Compiled:
-		w.Bytes(secQuery, c.encode(false))
+		w.Bytes(secQuery, c.encode(false, format.Version1))
 	case *CompiledN:
-		w.Bytes(secQuery, c.encode(false))
+		w.Bytes(secQuery, c.encode(false, format.Version1))
 	}
 	return w.Finish()
 }
@@ -694,7 +712,7 @@ func decodeProduct(d *decodeState) (*CompiledProduct, []int32, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	p := &CompiledProduct{inner: inner, nq: nq, mask: mask}
+	p := &CompiledProduct{inner: inner, nq: nq, mask: mask, fmtVersion: d.r.Version()}
 	switch c := inner.(type) {
 	case *Compiled:
 		if mode != 0 {
@@ -754,6 +772,16 @@ type Bundle struct {
 	queries []Query // nil at indices covered by a product group
 	groups  []ProductGroup
 	close   func() error
+
+	// Identity of the container this bundle was decoded from, for serving
+	// and cache keying: raw aliases the decode input (the mapped region for
+	// OpenBundle), hash is the verified content hash for a VersionHashed
+	// container or the plain checksum of the bytes for a Version1 one, and
+	// hashed says which.  All three are zero for a bundle built in memory.
+	raw        []byte
+	hash       [format.HashSize]byte
+	hashed     bool
+	fmtVersion uint32
 }
 
 // ProductGroup is one planned cluster of a bundle: a product-compiled
@@ -812,6 +840,36 @@ func (b *Bundle) Query(i int) Query { return b.queries[i] }
 // read-only.
 func (b *Bundle) Groups() []ProductGroup { return b.groups }
 
+// Raw returns the serialized container this bundle was decoded from, or
+// nil for a bundle built in memory.  The slice aliases the decode input —
+// for OpenBundle that is the mapped region, invalid after Close — so
+// treat it as read-only and copy it before the bundle goes away.
+func (b *Bundle) Raw() []byte { return b.raw }
+
+// ContentHash identifies the container this bundle was decoded from:
+// the header's verified content hash with verified=true for a
+// VersionHashed container, the plain checksum of the bytes with
+// verified=false for a Version1 one.  ok is false for a bundle built in
+// memory, which has no serialized identity yet (Marshal it first).
+func (b *Bundle) ContentHash() (sum [format.HashSize]byte, verified, ok bool) {
+	return b.hash, b.hashed, b.raw != nil
+}
+
+// Verify checks a detached NWS1 signature envelope against the container
+// this bundle was decoded from.  The bundle must come from a
+// VersionHashed container (the hash the signature covers is already
+// verified against the bytes at decode time); pub is an NWP1 key file or
+// bare 32-byte ed25519 key.
+func (b *Bundle) Verify(pub, envelope []byte) error {
+	if b.raw == nil {
+		return fmt.Errorf("query: bundle was built in memory, nothing to verify")
+	}
+	if !b.hashed {
+		return fmt.Errorf("query: version %d bundle carries no content hash to verify", b.fmtVersion)
+	}
+	return format.VerifyHash(pub, envelope, b.hash)
+}
+
 // NewPlannedBundle assembles a planned bundle over the same alphabet,
 // names, and order as src: each cluster (a list of src query indices,
 // paired positionally with its product) is answered by the product's
@@ -869,8 +927,12 @@ func NewPlannedBundle(src *Bundle, clusters [][]int, products []*CompiledProduct
 // embedded KindProduct container per cluster, each carrying its demux
 // indices; an unplanned bundle's layout is byte-identical to what it was
 // before planning existed.
+// Embedded blobs always stay at Version1: the outer container's content
+// hash covers their bytes, so a per-blob hash would add 32 bytes per query
+// for no extra integrity.
 func (b *Bundle) Marshal() []byte {
 	w := format.NewWriter(format.KindBundle)
+	w.SetVersion(marshalVersion(b.fmtVersion))
 	w.Strings(secAlphabet, b.alpha.Symbols())
 	w.Strings(secNames, b.names)
 	var solo []int32
@@ -880,15 +942,15 @@ func (b *Bundle) Marshal() []byte {
 		}
 		switch c := q.(type) {
 		case *Compiled:
-			w.Bytes(secQuery, c.encode(false))
+			w.Bytes(secQuery, c.encode(false, format.Version1))
 		case *CompiledN:
-			w.Bytes(secQuery, c.encode(false))
+			w.Bytes(secQuery, c.encode(false, format.Version1))
 		}
 	}
 	if len(b.groups) > 0 {
 		w.Int32s(secSolo, solo)
 		for _, g := range b.groups {
-			w.Bytes(secProduct, g.Product.encode(false, g.Indices))
+			w.Bytes(secProduct, g.Product.encode(false, g.Indices, format.Version1))
 		}
 	}
 	return w.Finish()
@@ -940,7 +1002,12 @@ func decodeBundle(data []byte, zeroCopy bool) (*Bundle, error) {
 		return nil, fmt.Errorf("query: bundle names repeat %q", dup)
 	}
 	blobs := r.Sections(secQuery)
-	b := &Bundle{alpha: alpha, names: names}
+	b := &Bundle{alpha: alpha, names: names, raw: data, fmtVersion: r.Version()}
+	if h, ok := r.ContentHash(); ok {
+		b.hash, b.hashed = h, true
+	} else {
+		b.hash = format.Checksum(data)
+	}
 	soloSec, planned := r.Section(secSolo)
 	if !planned {
 		// Unplanned layout: one embedded query per name, in order.

@@ -31,9 +31,13 @@ func exerciseDecoded(q Query) {
 func FuzzUnmarshalCompiled(f *testing.F) {
 	alpha := goldenAlphabet()
 	seeds := [][]byte{
+		// Marshal emits VersionHashed containers; the explicit Version1
+		// encodes keep the unhashed decode path in the corpus too.
 		Compile(PathQuery(alpha, "a", "b")).Marshal(),
+		Compile(PathQuery(alpha, "a", "b")).encode(true, 1),
 		Compile(WellFormed(alpha)).Marshal(),
 		CompileN(goldenNNWA()).Marshal(),
+		CompileN(goldenNNWA()).encode(true, 1),
 		{},
 		[]byte("NWQ1"),
 	}

@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"encoding/binary"
 	"flag"
 	"math/rand"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/alphabet"
 	"repro/internal/nwa"
+	"repro/internal/query/format"
 )
 
 // updateGolden rewrites the committed fixtures under testdata/ from the
@@ -298,7 +300,8 @@ func TestUnmarshalErrors(t *testing.T) {
 // re-encode byte-identically (the format cannot drift silently), and agree
 // with a freshly built copy of the same object on random words.  Run with
 // -update to regenerate the fixtures after a deliberate format change —
-// which must also bump format.Version.
+// which must also bump the format version (see format.Version1/VersionHashed
+// and the byte-level reference in docs/FORMAT.md).
 func TestGoldenFixtures(t *testing.T) {
 	fixtures := []struct {
 		file   string
@@ -366,7 +369,58 @@ func TestGoldenFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v (regenerate with -update)", err)
 			}
+			if v := binary.LittleEndian.Uint32(data[4:]); v != format.VersionHashed {
+				t.Fatalf("golden fixture is version %d, want %d", v, format.VersionHashed)
+			}
 			fx.verify(t, data)
+		})
+	}
+}
+
+// TestGoldenFixturesV1 pins backward compatibility: the committed
+// version-1 fixtures (the exact bytes PR 5 shipped, never regenerated)
+// must still decode, report themselves unhashed, and — because Marshal
+// re-emits the version an object was decoded from — re-encode
+// byte-identically.
+func TestGoldenFixturesV1(t *testing.T) {
+	remarshal := map[string]func(t *testing.T, data []byte) []byte{
+		"golden_dnwa_v1.nwq": func(t *testing.T, data []byte) []byte {
+			dec, err := UnmarshalCompiled(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dec.Marshal()
+		},
+		"golden_nnwa_v1.nwq": func(t *testing.T, data []byte) []byte {
+			dec, err := UnmarshalCompiledN(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dec.Marshal()
+		},
+		"golden_bundle_v1.nwq": func(t *testing.T, data []byte) []byte {
+			dec, err := UnmarshalBundle(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, verified, ok := dec.ContentHash(); !ok || verified {
+				t.Errorf("v1 bundle ContentHash reports ok=%v verified=%v, want ok unverified", ok, verified)
+			}
+			return dec.Marshal()
+		},
+	}
+	for file, re := range remarshal {
+		t.Run(file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := binary.LittleEndian.Uint32(data[4:]); v != format.Version1 {
+				t.Fatalf("fixture is version %d, want %d", v, format.Version1)
+			}
+			if again := re(t, data); !bytes.Equal(again, data) {
+				t.Fatal("v1 fixture re-encodes differently")
+			}
 		})
 	}
 }

@@ -1,0 +1,127 @@
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/query/format"
+)
+
+// TestTamperedBundleFailsClosed is the integrity table test the hashed
+// format exists for: flip one bit in EVERY byte of the committed golden
+// v2 bundle — header, hash field, directory, every section payload,
+// padding — and each mutation must make every load path fail with an
+// error, never a panic and never a silently different bundle.  Bytes
+// covered by the content hash must specifically report ErrHashMismatch;
+// flips inside the stored hash field itself are equally fatal (the
+// declared hash no longer matches the re-computed one); flips in the
+// magic or version fail before hashing with their own typed errors.
+func TestTamperedBundleFailsClosed(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_bundle.nwq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != format.VersionHashed {
+		t.Fatalf("fixture is version %d, want %d (regenerate with -update)", v, format.VersionHashed)
+	}
+	if _, err := UnmarshalBundle(data); err != nil {
+		t.Fatalf("pristine fixture does not load: %v", err)
+	}
+
+	const (
+		magicEnd   = 4
+		versionEnd = 8
+		hashStart  = 24
+		hashEnd    = 56
+	)
+	mut := make([]byte, len(data))
+	for i := range data {
+		copy(mut, data)
+		mut[i] ^= 1
+
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("byte %d flipped: load panicked: %v", i, r)
+				}
+			}()
+			_, err = UnmarshalBundle(mut)
+			return err
+		}()
+		if err == nil {
+			t.Fatalf("byte %d flipped: bundle still loaded", i)
+		}
+		switch {
+		case i < magicEnd:
+			if errors.Is(err, format.ErrHashMismatch) {
+				t.Fatalf("byte %d (magic) flipped: got ErrHashMismatch before the magic check: %v", i, err)
+			}
+		case i < versionEnd:
+			// A flipped version bit either lands on an unsupported version
+			// (its own error) or is caught by the hash — both fail closed.
+		default:
+			// Kind, flags, count, the hash field itself, the directory, and
+			// every payload byte are all covered: ErrHashMismatch, always.
+			if !errors.Is(err, format.ErrHashMismatch) {
+				t.Fatalf("byte %d flipped: got %v, want ErrHashMismatch", i, err)
+			}
+		}
+
+		// The zero-copy path — what OpenBundle's mmap uses — must reject
+		// identically: a flipped bit in a mapped file fails closed.
+		if _, err := LoadBundleMapped(mut); err == nil {
+			t.Fatalf("byte %d flipped: zero-copy load still succeeded", i)
+		}
+	}
+}
+
+// TestTamperedStandaloneQueries runs the same flip-every-byte check over
+// the golden standalone DNWA and NNWA fixtures through UnmarshalQuery.
+func TestTamperedStandaloneQueries(t *testing.T) {
+	for _, file := range []string{"golden_dnwa.nwq", "golden_nnwa.nwq"} {
+		t.Run(file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := UnmarshalQuery(data); err != nil {
+				t.Fatalf("pristine fixture does not load: %v", err)
+			}
+			mut := make([]byte, len(data))
+			for i := range data {
+				copy(mut, data)
+				mut[i] ^= 1
+				if _, err := UnmarshalQuery(mut); err == nil {
+					t.Fatalf("byte %d flipped: query still loaded", i)
+				}
+				if i >= 8 {
+					if _, err := UnmarshalQuery(mut); !errors.Is(err, format.ErrHashMismatch) {
+						t.Fatalf("byte %d flipped: want ErrHashMismatch", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTamperedFileOnDisk pins the OpenBundle path end to end: a flipped
+// bit in the file a server would mmap is refused at open, with
+// ErrHashMismatch, and the file never maps.
+func TestTamperedFileOnDisk(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_bundle.nwq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tampered.nwq")
+	mut := append([]byte(nil), data...)
+	mut[len(mut)/2] ^= 0x10
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBundle(path); !errors.Is(err, format.ErrHashMismatch) {
+		t.Fatalf("OpenBundle on a tampered file: got %v, want ErrHashMismatch", err)
+	}
+}

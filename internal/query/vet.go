@@ -1,6 +1,7 @@
 package query
 
 import (
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,8 +83,25 @@ type VetQueryStats struct {
 	NonCoaccessible int
 }
 
+// VetContainer describes the serialized container a report was vetted
+// from (zero-valued when VetBundle ran on an in-memory bundle).
+type VetContainer struct {
+	// Version is the container header version (format.Version1 or
+	// format.VersionHashed).
+	Version uint32
+	// Kind is the container object kind (format.KindDNWA … KindProduct).
+	Kind uint32
+	// ContentHash is the hex content hash: the verified header hash of a
+	// VersionHashed container, or the plain checksum of a v1 one.
+	ContentHash string
+	// HashVerified is true when ContentHash is the verified header hash.
+	HashVerified bool
+}
+
 // VetReport is the full result of vetting one artifact.
 type VetReport struct {
+	// Container describes the serialized artifact (zero for in-memory).
+	Container VetContainer
 	// Queries holds per-query statistics in bundle order.
 	Queries []VetQueryStats
 	// Issues holds every finding, container-level first.
@@ -115,6 +133,14 @@ func (r *VetReport) count(level string) int {
 // closing tally.
 func (r *VetReport) String() string {
 	var b strings.Builder
+	if r.Container.Version != 0 {
+		verified := "unverified checksum"
+		if r.Container.HashVerified {
+			verified = "verified"
+		}
+		fmt.Fprintf(&b, "container: version %d, kind %d, content hash %s (%s)\n",
+			r.Container.Version, r.Container.Kind, r.Container.ContentHash, verified)
+	}
 	for _, s := range r.Queries {
 		fmt.Fprintf(&b, "query %q: %s, %d states, %d reachable, %d unreachable, %d dead transitions",
 			s.Name, s.Form, s.States, s.Reachable, len(s.Unreachable), s.DeadTransitions)
@@ -148,32 +174,45 @@ func VetBytes(data []byte) (*VetReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	container := VetContainer{Version: r.Version(), Kind: r.Kind()}
+	if h, ok := r.ContentHash(); ok {
+		container.ContentHash, container.HashVerified = hex.EncodeToString(h[:]), true
+	} else {
+		sum := format.Checksum(data)
+		container.ContentHash = hex.EncodeToString(sum[:])
+	}
+	var rep *VetReport
 	switch r.Kind() {
 	case format.KindBundle:
 		b, err := UnmarshalBundle(data)
 		if err != nil {
 			return nil, err
 		}
-		return VetBundle(b), nil
+		rep = VetBundle(b)
 	case format.KindDNWA, format.KindNNWA:
 		q, err := UnmarshalQuery(data)
 		if err != nil {
 			return nil, err
 		}
-		rep := &VetReport{}
+		rep = &VetReport{}
 		vetQuery(rep, "query", q)
-		return rep, nil
 	case format.KindProduct:
 		p, err := UnmarshalProduct(data)
 		if err != nil {
 			return nil, err
 		}
-		rep := &VetReport{}
+		rep = &VetReport{}
 		vetProduct(rep, "product", p, -1)
-		return rep, nil
 	default:
 		return nil, fmt.Errorf("query: container kind %d is not a vettable artifact", r.Kind())
 	}
+	rep.Container = container
+	if !container.HashVerified {
+		rep.add("", VetWarning, fmt.Sprintf(
+			"container is unhashed version %d — re-marshal to version %d so fleets can verify it before mapping",
+			r.Version(), format.VersionHashed))
+	}
+	return rep, nil
 }
 
 // VetBundle verifies an in-memory bundle: per-query structural and

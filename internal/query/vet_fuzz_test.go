@@ -13,9 +13,13 @@ import (
 func FuzzBundleVet(f *testing.F) {
 	alpha := goldenAlphabet()
 	seeds := [][]byte{
+		// Marshal emits VersionHashed containers; the explicit Version1
+		// encodes keep the unhashed-container vet path in the corpus.
 		Compile(PathQuery(alpha, "a", "b")).Marshal(),
+		Compile(PathQuery(alpha, "a", "b")).encode(true, 1),
 		Compile(WellFormed(alpha)).Marshal(),
 		CompileN(goldenNNWA()).Marshal(),
+		CompileN(goldenNNWA()).encode(true, 1),
 		CompileN(unreachableNNWA()).Marshal(),
 		{},
 		[]byte("NWQ1"),

@@ -8,6 +8,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -75,6 +76,11 @@ type ShardJSON struct {
 //	POST /v1/batch              serve an NDJSON stream of documents (a line's
 //	                            optional "format" field works like ?format=)
 //	POST /v1/reload             swap in a freshly opened bundle
+//	GET  /v1/bundle             the active generation's raw NWQ1 container
+//	                            (ETag = content hash, If-None-Match → 304) —
+//	                            how peers self-provision (docs/DISTRIBUTION.md)
+//	GET  /v1/bundle.sig         the generation's detached NWS1 signature
+//	                            envelope (404 when the bundle is unsigned)
 //	GET  /v1/status             bundle identity + serving counters (JSON)
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/vars            expvar JSON
@@ -83,6 +89,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/documents", s.handleDocument)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/bundle", s.handleBundle)
+	mux.HandleFunc("GET /v1/bundle.sig", s.handleBundleSig)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -309,6 +317,58 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleBundle serves GET /v1/bundle: the active generation's raw NWQ1
+// container bytes, so a peer booted with -queryset-url self-provisions
+// from this server.  The ETag is the container's quoted hex content hash —
+// the same value the bundlecache keys entries by — and a matching
+// If-None-Match answers 304 with no body, so a fleet's periodic refresh
+// is one conditional request per worker.  The bytes are written while
+// holding a generation reference, so the mapped region cannot be unmapped
+// mid-response even if a reload swaps generations.
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	st, err := s.acquire()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer st.release()
+	if st.raw == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "bundle has no serialized form"})
+		return
+	}
+	if st.etag != "" {
+		w.Header().Set("ETag", st.etag)
+		for _, match := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+			if strings.TrimSpace(match) == st.etag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(st.raw)))
+	w.Write(st.raw)
+}
+
+// handleBundleSig serves GET /v1/bundle.sig: the detached NWS1 signature
+// envelope that shipped next to the active bundle, or 404 when it was
+// loaded unsigned.
+func (s *Server) handleBundleSig(w http.ResponseWriter, r *http.Request) {
+	st, err := s.acquire()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer st.release()
+	if len(st.sig) == 0 {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "bundle is unsigned"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(st.sig)))
+	w.Write(st.sig)
 }
 
 // status assembles the Status document from the active generation.

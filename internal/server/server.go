@@ -22,8 +22,10 @@
 package server
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,17 @@ type Config struct {
 	// BundlePath is the serialized query bundle (nwtool compile output)
 	// the server boots from and re-opens on every reload.
 	BundlePath string
+	// Source, when set, resolves the bundle path afresh for every load —
+	// the hook bundlecache.Source plugs in so a reload re-fetches from the
+	// configured peer URL and returns the verified cache entry's path.
+	// BundlePath is then only informational (Source's path is opened).
+	Source func() (string, error)
+	// PublicKey, when set, requires every loaded bundle to carry a valid
+	// detached signature (the sibling <path>.sig NWS1 envelope) by this
+	// ed25519 key (NWP1 key file or bare 32 bytes).  A missing or invalid
+	// signature fails the load — at boot that refuses to start, on reload
+	// the old generation keeps serving (verify-before-swap).
+	PublicKey []byte
 	// Shards is the pool's shard count; 0 means the serve default
 	// (runtime.GOMAXPROCS(0)).
 	Shards int
@@ -78,6 +91,14 @@ type poolState struct {
 	names  []string // engine verdict names, in Result.Verdicts order
 	refs   atomic.Int64
 	bundle *query.Bundle
+
+	// Distribution state for GET /v1/bundle: the generation's raw container
+	// bytes (aliasing the bundle's mapped region, valid while a reference
+	// is held), the quoted hex content hash served as the ETag, and the
+	// detached signature envelope when one was loaded.
+	raw  []byte
+	etag string
+	sig  []byte
 }
 
 // release drops one reference, closing the generation when it was the last.
@@ -128,13 +149,37 @@ func New(cfg Config) (*Server, error) {
 }
 
 // load builds one complete generation from the configured bundle path: the
-// bundle is opened, vetted by the loader, registered on a fresh engine, and
-// the shard workers started — all before any swap, so a bad bundle on disk
-// fails the reload and leaves the old generation serving.
+// bundle is opened (its content hash verified by the format layer), its
+// signature checked when a public key is configured, registered on a fresh
+// engine, and the shard workers started — all before any swap, so a bad,
+// tampered, or unsigned bundle fails the reload and leaves the old
+// generation serving (verify-before-swap).
 func (s *Server) load(gen int64) (*poolState, error) {
-	b, err := query.OpenBundle(s.cfg.BundlePath)
+	path := s.cfg.BundlePath
+	if s.cfg.Source != nil {
+		var err error
+		if path, err = s.cfg.Source(); err != nil {
+			return nil, fmt.Errorf("server: resolve bundle: %w", err)
+		}
+	}
+	b, err := query.OpenBundle(path)
 	if err != nil {
 		return nil, fmt.Errorf("server: open bundle: %w", err)
+	}
+	sig, err := os.ReadFile(path + ".sig")
+	if err != nil && !os.IsNotExist(err) {
+		b.Close()
+		return nil, fmt.Errorf("server: read bundle signature: %w", err)
+	}
+	if len(s.cfg.PublicKey) > 0 {
+		if sig == nil {
+			b.Close()
+			return nil, fmt.Errorf("server: bundle %s has no detached signature (%s.sig) and a public key is configured", path, path)
+		}
+		if err := b.Verify(s.cfg.PublicKey, sig); err != nil {
+			b.Close()
+			return nil, fmt.Errorf("server: verify bundle signature: %w", err)
+		}
 	}
 	opts := []serve.Option{serve.WithAffinity(s.cfg.Affinity)}
 	if s.cfg.Shards > 0 {
@@ -152,12 +197,17 @@ func (s *Server) load(gen int64) (*poolState, error) {
 		pool:   pool,
 		bundle: b,
 		names:  pool.Engine().Names(),
+		raw:    b.Raw(),
+		sig:    sig,
 		info: BundleInfo{
-			Path:       s.cfg.BundlePath,
+			Path:       path,
 			Generation: gen,
 			LoadedAt:   time.Now(),
 			Bundle:     query.Describe(b),
 		},
+	}
+	if sum, _, ok := b.ContentHash(); ok {
+		st.etag = `"` + hex.EncodeToString(sum[:]) + `"`
 	}
 	st.refs.Store(1)
 	return st, nil

@@ -315,6 +315,35 @@ func analyzePlanConfinement(u *unit, confined bool, report reportFunc) {
 	}
 }
 
+// cryptoPackages are the hash and signature primitives of the bundle
+// integrity layer, confined by analyzeCryptoConfinement.
+var cryptoPackages = []string{"crypto/ed25519", "crypto/sha256"}
+
+// analyzeCryptoConfinement flags imports of the content-hash and signature
+// primitives outside their audited homes: internal/query/format owns
+// hashing and signing (the NWQ1 content hash, the NWS1 envelope), and
+// internal/bundlecache verifies fetched entries.  Every other package
+// consumes hashes as opaque [format.HashSize]byte values through
+// format.Checksum / format.ContentHash / format.VerifyHash — direct crypto
+// use anywhere else scatters key handling and verification policy beyond
+// what a review of the two homes can audit.
+func analyzeCryptoConfinement(u *unit, allowed bool, report reportFunc) {
+	if allowed {
+		return
+	}
+	for _, file := range u.files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, banned := range cryptoPackages {
+				if path == banned {
+					report("%s: crypto-confinement: import of %s outside internal/query/format and internal/bundlecache (consume hashes through the format package)",
+						u.position(imp), path)
+				}
+			}
+		}
+	}
+}
+
 // guardComment extracts the mutex name from a "guarded by <mu>" field
 // comment.
 var guardComment = regexp.MustCompile(`guarded by (\w+)`)

@@ -15,6 +15,11 @@
 //     StringHeader reinterpretation live only in internal/query/format,
 //     where the zero-copy bundle loader is audited; everywhere else they
 //     are violations.
+//   - crypto-confinement: the content-hash and signature primitives
+//     (crypto/sha256, crypto/ed25519) are imported only by
+//     internal/query/format (which owns hashing and signing) and
+//     internal/bundlecache (which verifies fetched entries); every other
+//     package consumes hashes through the format package's helpers.
 //   - dsl-confinement: the serving hot-path packages (internal/engine,
 //     internal/serve, internal/server) may not import the query DSL
 //     compiler (repro/internal/query/dsl) — query text is parsed and
@@ -75,6 +80,7 @@ type unit struct {
 // annotations and "guarded by" field comments wherever they appear.)
 var (
 	unsafeAllowedDirs   = []string{"internal/query/format"}
+	cryptoAllowedDirs   = []string{"internal/query/format", "internal/bundlecache"}
 	errorDisciplineDirs = []string{"internal/query", "internal/query/format"}
 	dslConfinedDirs     = []string{"internal/engine", "internal/serve", "internal/server"}
 	planConfinedDirs    = []string{"internal/engine", "internal/serve", "internal/server"}
@@ -120,6 +126,7 @@ func runNwvet(root string) ([]string, error) {
 	for _, u := range units {
 		analyzeHotpathAlloc(u, report)
 		analyzeUnsafeConfinement(u, dirIn(u.dir, unsafeAllowedDirs), report)
+		analyzeCryptoConfinement(u, dirIn(u.dir, cryptoAllowedDirs), report)
 		analyzeDSLConfinement(u, dirIn(u.dir, dslConfinedDirs), report)
 		analyzePlanConfinement(u, dirIn(u.dir, planConfinedDirs), report)
 		analyzeLockedFields(u, report)

@@ -94,6 +94,24 @@ func TestUnsafeConfinementSeededViolations(t *testing.T) {
 	}
 }
 
+func TestCryptoConfinementSeededViolations(t *testing.T) {
+	got := collect(t, "testdata/crypto_bad", func(u *unit, r reportFunc) {
+		analyzeCryptoConfinement(u, false, r)
+	})
+	wantFindings(t, got, []string{
+		"crypto-confinement: import of crypto/ed25519",
+		"crypto-confinement: import of crypto/sha256",
+	})
+
+	// The same file inside an allowed directory is fine.
+	allowed := collect(t, "testdata/crypto_bad", func(u *unit, r reportFunc) {
+		analyzeCryptoConfinement(u, true, r)
+	})
+	if len(allowed) != 0 {
+		t.Errorf("allowed directory still flagged:\n%s", strings.Join(allowed, "\n"))
+	}
+}
+
 func TestDSLConfinementSeededViolation(t *testing.T) {
 	got := collect(t, "testdata/dsl_bad", func(u *unit, r reportFunc) {
 		analyzeDSLConfinement(u, true, r)

@@ -1,0 +1,15 @@
+// Package fixture seeds crypto-confinement violations: a package outside
+// the audited homes (internal/query/format, internal/bundlecache)
+// importing the hash and signature primitives directly.
+package fixture
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+)
+
+// Digest pretends to hash and sign bytes outside the audited crypto homes.
+func Digest(priv ed25519.PrivateKey, data []byte) []byte {
+	sum := sha256.Sum256(data)
+	return ed25519.Sign(priv, sum[:])
+}
